@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Balanced Byz_2cycle Crash_general Crash_single Dr_adversary Dr_core Dr_engine Dr_source Dr_stats Exec Exp_common Int64 List Printf Problem

@@ -1,0 +1,1 @@
+bench/exp_byz.ml: Byz_2cycle Byz_multicycle Committee Dr_core Dr_stats Exec Exp_common Int64 List Printf Problem

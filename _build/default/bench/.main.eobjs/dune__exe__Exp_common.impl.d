@@ -1,0 +1,1 @@
+bench/exp_common.ml: Dr_adversary Dr_core Dr_engine Dr_stats Exec Int64 List Printf Problem

@@ -1,0 +1,1 @@
+bench/exp_crash.ml: Crash_general Crash_single Dr_adversary Dr_core Dr_engine Dr_source Dr_stats Exec Exp_common List Printf Problem

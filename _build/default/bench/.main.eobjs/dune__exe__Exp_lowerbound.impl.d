@@ -1,0 +1,1 @@
+bench/exp_lowerbound.ml: Byz_2cycle Committee Dr_core Dr_lowerbound Dr_stats Exp_common Int64 List Printf String

@@ -1,0 +1,1 @@
+bench/exp_oracle.ml: Array Dr_adversary Dr_oracle Dr_stats Exp_common List Printf

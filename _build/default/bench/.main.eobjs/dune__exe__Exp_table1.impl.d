@@ -1,0 +1,1 @@
+bench/exp_table1.ml: Balanced Byz_2cycle Byz_multicycle Committee Crash_general Dr_core Dr_stats Exec Exp_common Float List Naive Printf Problem Spec

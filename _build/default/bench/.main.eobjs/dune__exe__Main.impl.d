@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_micro Exp_ablation Exp_byz Exp_crash Exp_lowerbound Exp_oracle Exp_table1 List Printf String Sys

@@ -1,0 +1,135 @@
+(* Bechamel wall-clock microbenches: one Test.make per experiment table,
+   timing a representative (smaller) workload of that table so simulator
+   throughput regressions show up. *)
+
+open Bechamel
+open Toolkit
+open Dr_core
+open Exp_common
+module Crash_plan = Dr_adversary.Crash_plan
+
+let stage f = Staged.stage f
+
+let t_table1_crash =
+  Test.make ~name:"table1/crash-general"
+    (stage (fun () ->
+         let inst = crash_inst ~seed:1L ~k:16 ~n:2048 ~t:6 () in
+         ignore (Crash_general.run ~opts:(storm_opts inst 1L) inst)))
+
+let t_table1_committee =
+  Test.make ~name:"table1/byz-committee"
+    (stage (fun () ->
+         let inst = byz_inst ~seed:1L ~k:16 ~n:2048 ~t:4 () in
+         ignore (Committee.run_with ~attack:Committee.Equivocate inst)))
+
+let t_table1_2cycle =
+  Test.make ~name:"table1/byz-2cycle"
+    (stage (fun () ->
+         let inst = byz_inst ~seed:1L ~k:64 ~n:4096 ~t:8 () in
+         ignore (Byz_2cycle.run_with ~attack:Byz_2cycle.Near_miss inst)))
+
+let t_table1_multicycle =
+  Test.make ~name:"table1/byz-multicycle"
+    (stage (fun () ->
+         let inst = byz_inst ~seed:1L ~k:64 ~n:4096 ~t:8 () in
+         ignore (Byz_multicycle.run_with ~attack:Byz_multicycle.Near_miss inst)))
+
+let t_crash_single =
+  Test.make ~name:"E-2.3/crash-single"
+    (stage (fun () ->
+         let inst = crash_inst ~seed:2L ~k:8 ~n:1024 ~t:1 () in
+         let opts =
+           Exec.with_crash (Crash_plan.mid_broadcast inst.Problem.fault ~after_sends:2)
+             Exec.default
+         in
+         ignore (Crash_single.run ~opts inst)))
+
+let t_lowerbound_det =
+  Test.make ~name:"E-3.1/det-lowerbound"
+    (stage (fun () ->
+         let run ?opts inst = Committee.run_with ?opts ~committee_size:6 ~threshold:2 inst in
+         ignore (Dr_lowerbound.Det_lower.demonstrate ~run ~f_set:[ 5; 6; 7 ] ~b:72 ~k:8 ~n:128 ())))
+
+let t_lowerbound_rand =
+  Test.make ~name:"E-3.2/rand-lowerbound"
+    (stage (fun () ->
+         let run ?opts inst =
+           Byz_2cycle.run_with ?opts ~attack:Byz_2cycle.Mirror ~segments:3 ~rho:1 inst
+         in
+         ignore
+           (Dr_lowerbound.Rand_lower.attack ~run ~f_count:4 ~k:21 ~n:128
+              ~seeds:[ 1L; 2L; 3L ] ())))
+
+let t_oracle =
+  Test.make ~name:"E-4/oracle-odc"
+    (stage (fun () ->
+         let p =
+           { Dr_oracle.Odc.peers = 9; peer_faults = 2; sources = 5; source_faults = 2;
+             cells = 32; seed = 4L }
+         in
+         ignore (Dr_oracle.Odc.download_based p)))
+
+let t_engine =
+  Test.make ~name:"engine/message-storm"
+    (stage (fun () ->
+         (* Raw simulator throughput: an all-to-all broadcast round. *)
+         let module M = struct
+           type t = int
+
+           let size_bits _ = 64
+           let tag _ = "x"
+         end in
+         let module S = Dr_engine.Sim.Make (M) in
+         let cfg =
+           Dr_engine.Sim.default_config ~k:64 ~query_bit:(fun ~peer:_ _ -> false)
+         in
+         ignore
+           (S.run cfg (fun i ->
+                S.broadcast i;
+                for _ = 1 to 63 do
+                  ignore (S.receive ())
+                done;
+                i))))
+
+let all_tests =
+  [
+    t_engine;
+    t_table1_crash;
+    t_table1_committee;
+    t_table1_2cycle;
+    t_table1_multicycle;
+    t_crash_single;
+    t_lowerbound_det;
+    t_lowerbound_rand;
+    t_oracle;
+  ]
+
+let run () =
+  section "Bechamel microbenches (wall-clock per full simulated execution)";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.3) ~stabilize:false () in
+  let grouped = Test.make_grouped ~name:"dr" ~fmt:"%s %s" all_tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  let table = Dr_stats.Table.create [ "bench"; "time/run" ] in
+  (match Hashtbl.find_opt merged (Measure.label Instance.monotonic_clock) with
+  | None -> ()
+  | Some per_test ->
+    let rows = Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) per_test [] in
+    List.iter
+      (fun (name, ols_result) ->
+        let value =
+          match Analyze.OLS.estimates ols_result with
+          | Some (v :: _) ->
+            if v > 1e9 then Printf.sprintf "%.2f s" (v /. 1e9)
+            else if v > 1e6 then Printf.sprintf "%.2f ms" (v /. 1e6)
+            else Printf.sprintf "%.0f us" (v /. 1e3)
+          | Some [] | None -> "n/a"
+        in
+        Dr_stats.Table.add_row table [ name; value ])
+      (List.sort compare rows));
+  Dr_stats.Table.print table

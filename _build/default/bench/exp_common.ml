@@ -1,0 +1,43 @@
+(* Shared helpers for the experiment harness. *)
+
+open Dr_core
+module Latency = Dr_adversary.Latency
+module Crash_plan = Dr_adversary.Crash_plan
+module Prng = Dr_engine.Prng
+module Table = Dr_stats.Table
+
+let section title =
+  Printf.printf "\n========== %s ==========\n\n" title
+
+let note fmt = Printf.printf fmt
+
+let jitter seed = Latency.jittered (Prng.create seed)
+
+let crash_inst ?seed ?b ~k ~n ~t () = Problem.random_instance ?seed ?b ~k ~n ~t ()
+
+let byz_inst ?seed ?b ~k ~n ~t () =
+  Problem.random_instance ?seed ?b ~model:Problem.Byzantine ~k ~n ~t ()
+
+(* Worst-case crash environment: random finite delays, every faulty peer
+   silent from the start — the schedule that maximizes re-assignment work
+   (Q -> n/(gamma k)). *)
+let silent_opts inst seed =
+  Exec.default
+  |> Exec.with_latency (jitter seed)
+  |> Exec.with_crash (Crash_plan.mid_broadcast inst.Problem.fault ~after_sends:0)
+
+(* Realistic storm: staggered mid-execution deaths. *)
+let storm_opts inst seed =
+  Exec.default
+  |> Exec.with_latency (jitter seed)
+  |> Exec.with_crash (Crash_plan.staggered inst.Problem.fault ~first:0.5 ~gap:2.0)
+
+let ratio a b = if b = 0 then nan else float_of_int a /. float_of_int b
+
+let fmt_ratio a b = Printf.sprintf "%.2f" (ratio a b)
+
+let ideal_q inst = (Problem.n inst + inst.Problem.k - 1) / inst.Problem.k
+
+(* Mean over seeds of a measurement taken from a fresh report. *)
+let over_seeds ~seeds f =
+  List.map (fun i -> f (Int64.of_int i)) (List.init seeds (fun i -> i + 1))

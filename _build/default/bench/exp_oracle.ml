@@ -1,0 +1,86 @@
+(* Experiment E-4: the blockchain-oracle application (Theorems 4.1/4.2).
+   Total cell queries of the classical ODC step vs the Download-based step;
+   the saving factor grows like gamma*k with the oracle network size. *)
+
+open Exp_common
+module Odc = Dr_oracle.Odc
+module Pipeline = Dr_oracle.Pipeline
+module Feed = Dr_oracle.Feed
+module Fault = Dr_adversary.Fault
+module Table = Dr_stats.Table
+
+let publication () =
+  section "E-4b: asynchronous publication — the contract's k > 3t threshold";
+  let feed = Feed.make ~sources:5 ~faulty:[ 4 ] ~cells:32 ~seed:6L () in
+  let honest_report _ =
+    Array.init (Feed.cells feed) (fun c ->
+        let lo, hi = Feed.honest_range feed ~cell:c in
+        (lo + hi) / 2)
+  in
+  let table = Table.create [ "k"; "t"; "k > 3t"; "rushing byz"; "published in range" ] in
+  List.iter
+    (fun (k, t) ->
+      let fault = Fault.choose ~k (Fault.First t) in
+      let r = Pipeline.publish ~feed ~fault ~honest_report () in
+      Table.add_row table
+        [
+          string_of_int k;
+          string_of_int t;
+          (if Pipeline.validate ~k ~t = Ok () then "yes" else "no");
+          "yes";
+          (if r.Pipeline.odd_ok then "yes" else "NO (attacked)");
+        ])
+    [ (10, 3); (13, 4); (16, 5); (8, 3) (* the gap: 2t < k <= 3t *); (9, 3); (12, 4) ];
+  Table.print table;
+  note
+    "\nThe contract accepts the first k - t submissions; rushing Byzantine garbage can\n\
+     be half of them unless k > 3t — the asynchronous tax on step (3), which the\n\
+     paper abstracts away and this pipeline makes measurable.\n"
+
+let epochs () =
+  section "E-4c: multi-epoch operation — cumulative saving over 8 publications";
+  let base =
+    { Odc.peers = 32; peer_faults = 6; sources = 9; source_faults = 3; cells = 128; seed = 12L }
+  in
+  match Dr_oracle.Epochs.run { Dr_oracle.Epochs.base; epochs = 8 } with
+  | Error e -> note "epochs rejected: %s\n" e
+  | Ok s ->
+    note "8 epochs, all ODD-correct: %b\n" s.Dr_oracle.Epochs.all_ok;
+    note "cumulative cell queries: %d (classical baseline would pay %d)\n"
+      s.Dr_oracle.Epochs.total_queries s.Dr_oracle.Epochs.baseline_total;
+    note "cumulative saving: %.1fx\n" s.Dr_oracle.Epochs.saving
+
+let run () =
+  section "E-4: oracle data collection — classical vs Download-based (Thms 4.1/4.2)";
+  let table =
+    Table.create
+      [ "k nodes"; "byz nodes"; "baseline total"; "download total"; "saving"; "gamma*k"; "ODD both" ]
+  in
+  List.iter
+    (fun (peers, peer_faults) ->
+      let p =
+        { Odc.peers; peer_faults; sources = 9; source_faults = 3; cells = 256; seed = 8L }
+      in
+      let b = Odc.baseline p in
+      let d = Odc.download_based ~protocol:`Committee p in
+      let gamma_k = float_of_int (peers - peer_faults) in
+      Table.add_row table
+        [
+          string_of_int peers;
+          string_of_int peer_faults;
+          string_of_int b.Odc.cell_queries_total;
+          string_of_int d.Odc.cell_queries_total;
+          Printf.sprintf "%.1fx" (ratio b.Odc.cell_queries_total d.Odc.cell_queries_total);
+          Printf.sprintf "%.0f" gamma_k;
+          (if b.Odc.odd_ok && d.Odc.odd_ok then "yes" else "NO");
+        ])
+    [ (8, 2); (16, 2); (32, 2); (64, 2); (96, 2); (32, 6); (64, 12); (96, 18) ];
+  Table.print table;
+  note
+    "\nWith a fixed Byzantine-node count the saving grows linearly in the network size\n\
+     (first five rows): baseline costs every node 2ts+1 full sources, Download-based\n\
+     splits that bill k/(2t+1) ways — Theorem 4.2. When the Byzantine share is a fixed\n\
+     fraction (last rows), the saving settles at ~1/(2*beta). Both constructions keep\n\
+     every published cell inside the honest sources' range (the ODD property).\n";
+  publication ();
+  epochs ()

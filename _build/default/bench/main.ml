@@ -1,0 +1,42 @@
+(* The experiment harness: regenerates every table/figure-equivalent of the
+   paper (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+   paper-vs-measured record).
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- table1 byz   # selected sections
+     dune exec bench/main.exe -- --list       # section names *)
+
+let sections =
+  [
+    ("table1", Exp_table1.run, "Table 1: the query-complexity landscape");
+    ("crash", Exp_crash.run, "E-2.3 / E-2.13: crash-fault theorems");
+    ("byz", Exp_byz.run, "E-3.4 / E-3.7 / E-3.12: Byzantine-minority protocols");
+    ("lowerbound", Exp_lowerbound.run, "E-3.1 / E-3.2: Byzantine-majority lower bounds");
+    ("oracle", Exp_oracle.run, "E-4: blockchain-oracle application");
+    ("ablation", Exp_ablation.run, "A-1 .. A-3: design-choice ablations");
+    ("bechamel", Bench_micro.run, "wall-clock microbenches");
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--list" args then
+    List.iter (fun (name, _, doc) -> Printf.printf "%-12s %s\n" name doc) sections
+  else begin
+    let selected =
+      match List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args with
+      | [] -> List.map (fun (name, _, _) -> name) sections
+      | names ->
+        List.iter
+          (fun name ->
+            if not (List.exists (fun (s, _, _) -> s = name) sections) then begin
+              Printf.eprintf "unknown section %S (try --list)\n" name;
+              exit 2
+            end)
+          names;
+        names
+    in
+    List.iter
+      (fun (name, run, _) -> if List.mem name selected then run ())
+      sections
+  end

@@ -1,0 +1,1 @@
+bin/dr_download.ml: Arg Byz_2cycle Byz_multicycle Cmd Cmdliner Committee Dr_adversary Dr_core Dr_engine Exec Format List Printf Problem Select String Term

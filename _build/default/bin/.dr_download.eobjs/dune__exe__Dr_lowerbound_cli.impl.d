@@ -1,0 +1,1 @@
+bin/dr_lowerbound_cli.ml: Arg Byz_2cycle Cmd Cmdliner Committee Dr_core Dr_lowerbound Int64 List Printf Problem String Term

@@ -1,0 +1,1 @@
+bin/dr_oracle_cli.ml: Arg Cmd Cmdliner Dr_oracle Dr_stats List Printf Term

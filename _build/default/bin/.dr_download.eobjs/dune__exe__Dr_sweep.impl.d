@@ -1,0 +1,1 @@
+bin/dr_sweep.ml: Arg Cmd Cmdliner Dr_adversary Dr_core Dr_engine Exec Float Int64 List Printf Problem Select String Term

@@ -1,0 +1,1 @@
+bin/dr_sweep.mli:

@@ -1,0 +1,1 @@
+bin/dr_trace.ml: Arg Cmd Cmdliner Dr_engine Format List Printf Term

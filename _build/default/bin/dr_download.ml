@@ -1,0 +1,190 @@
+(* dr_download: run one Download protocol on one instance and print the
+   verdict and Q/T/M measures.
+
+   Examples:
+     dr_download -p crash-general -k 16 -n 4096 -t 5 --crash midcast:2 --latency jitter
+     dr_download -p byz-committee -k 9 -n 1024 -t 4 --attack collude
+     dr_download -p byz-2cycle -k 64 -n 8192 -t 8 --segments 4 --trace *)
+
+open Cmdliner
+open Dr_core
+module Latency = Dr_adversary.Latency
+module Crash_plan = Dr_adversary.Crash_plan
+module Prng = Dr_engine.Prng
+
+let protocol_arg =
+  let names = List.map (fun (module P : Exec.PROTOCOL) -> P.name) Select.all in
+  let doc = Printf.sprintf "Protocol to run: one of %s, or 'auto'." (String.concat ", " names) in
+  Arg.(value & opt string "auto" & info [ "p"; "protocol" ] ~docv:"NAME" ~doc)
+
+let peers_arg = Arg.(value & opt int 8 & info [ "k"; "peers" ] ~docv:"K" ~doc:"Number of peers.")
+let bits_arg = Arg.(value & opt int 1024 & info [ "n"; "bits" ] ~docv:"N" ~doc:"Input size in bits.")
+let faults_arg = Arg.(value & opt int 2 & info [ "t"; "faults" ] ~docv:"T" ~doc:"Faulty peers.")
+
+let model_arg =
+  Arg.(
+    value
+    & opt (enum [ ("crash", Problem.Crash); ("byzantine", Problem.Byzantine) ]) Problem.Crash
+    & info [ "model" ] ~doc:"Fault model: crash or byzantine.")
+
+let seed_arg = Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"Random seed.")
+
+let msg_bits_arg =
+  Arg.(value & opt (some int) None & info [ "B"; "msg-bits" ] ~doc:"Message size bound in bits.")
+
+let latency_arg =
+  Arg.(value & opt string "unit" & info [ "latency" ] ~docv:"POLICY"
+         ~doc:"Latency policy: unit, jitter, rush (Byzantine messages fast), or sized.")
+
+let crash_arg =
+  Arg.(value & opt string "midcast:1" & info [ "crash" ] ~docv:"PLAN"
+         ~doc:"Crash plan for crash-model faulty peers: none, silent, midcast:J, \
+               staggered, or afterq:J.")
+
+let attack_arg =
+  Arg.(value & opt string "default" & info [ "attack" ] ~docv:"ATTACK"
+         ~doc:"Byzantine attack: default, silent, flip, equivocate, collude, nearmiss, lie.")
+
+let segments_arg =
+  Arg.(value & opt (some int) None & info [ "segments" ] ~doc:"Segment count override (randomized protocols).")
+
+let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Print the full execution trace.")
+
+let matrix_arg =
+  Arg.(value & flag & info [ "matrix" ] ~doc:"Print the src->dst message matrix.")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE" ~doc:"Save the execution trace for dr_trace.")
+
+let explore_arg =
+  Arg.(value & opt (some int) None
+       & info [ "explore" ] ~docv:"BUDGET"
+           ~doc:"Instead of one run, DFS-explore up to BUDGET delivery schedules \
+                 and report failures (keep k and n tiny).")
+
+let run protocol k n t model seed msg_bits latency crash attack segments trace_flag matrix_flag trace_out explore =
+  if t >= k then `Error (false, "need t < k")
+  else if n < k then `Error (false, "need n >= k")
+  else begin
+    let inst = Problem.random_instance ~seed ?b:msg_bits ~model ~k ~n ~t () in
+    let trace =
+      if trace_flag || matrix_flag || trace_out <> None then Some (Dr_engine.Trace.create ())
+      else None
+    in
+    let lat =
+      match latency with
+      | "unit" -> Latency.unit_delay
+      | "jitter" -> Latency.jittered (Prng.create seed)
+      | "rush" ->
+        Latency.rushing ~fast:(Dr_adversary.Fault.is_faulty inst.Problem.fault) ~eps:0.01
+      | "sized" -> Latency.size_proportional ~per_bit:(1. /. float_of_int inst.Problem.b) ~floor:0.1
+      | other -> failwith ("unknown latency policy: " ^ other)
+    in
+    let crash_plan =
+      let fault = inst.Problem.fault in
+      match String.split_on_char ':' crash with
+      | [ "none" ] -> Crash_plan.none
+      | [ "silent" ] -> Crash_plan.mid_broadcast fault ~after_sends:0
+      | [ "midcast"; j ] -> Crash_plan.mid_broadcast fault ~after_sends:(int_of_string j)
+      | [ "staggered" ] -> Crash_plan.staggered fault ~first:0.5 ~gap:2.0
+      | [ "afterq"; j ] -> Crash_plan.after_queries fault (int_of_string j)
+      | _ -> failwith ("unknown crash plan: " ^ crash)
+    in
+    let opts = { Exec.default with Exec.latency = lat; crash = crash_plan; trace } in
+    match explore with
+    | Some budget ->
+      let run_protocol ~arbiter =
+        let opts = { opts with Exec.arbiter = Some arbiter; trace = None } in
+        let (module P : Exec.PROTOCOL) =
+          if protocol = "auto" then Select.for_instance inst
+          else
+            match Select.by_name protocol with
+            | Some p -> p
+            | None -> failwith ("unknown protocol: " ^ protocol)
+        in
+        (P.run ~opts inst).Problem.ok
+      in
+      let r = Dr_engine.Explore.dfs ~budget ~run:run_protocol in
+      Printf.printf "schedules explored: %d%s\n" r.Dr_engine.Explore.schedules_run
+        (if r.Dr_engine.Explore.exhausted then " (space exhausted)" else " (DFS prefix)");
+      Printf.printf "max depth:          %d events\n" r.Dr_engine.Explore.max_depth;
+      Printf.printf "failing schedules:  %d\n" r.Dr_engine.Explore.failures;
+      (match r.Dr_engine.Explore.first_failure with
+      | Some script ->
+        Printf.printf "first failure script: [%s]\n"
+          (String.concat ";" (List.map string_of_int script))
+      | None -> ());
+      if r.Dr_engine.Explore.failures = 0 then `Ok () else `Error (false, "schedule failures")
+    | None ->
+    let report =
+      match protocol with
+      | "auto" ->
+        let (module P : Exec.PROTOCOL) = Select.for_instance inst in
+        P.run ~opts inst
+      | "byz-committee" ->
+        let attack =
+          match attack with
+          | "default" | "equivocate" -> Committee.Equivocate
+          | "silent" -> Committee.Honest_but_silent
+          | "flip" -> Committee.Flip
+          | "collude" -> Committee.Collude
+          | other -> failwith ("unknown committee attack: " ^ other)
+        in
+        Committee.run_with ~opts ~attack inst
+      | "byz-2cycle" ->
+        let attack =
+          match attack with
+          | "default" | "nearmiss" -> Byz_2cycle.Near_miss
+          | "silent" -> Byz_2cycle.Silent
+          | "lie" -> Byz_2cycle.Consistent_lie
+          | "equivocate" -> Byz_2cycle.Equivocate
+          | other -> failwith ("unknown 2cycle attack: " ^ other)
+        in
+        Byz_2cycle.run_with ~opts ~attack ?segments inst
+      | "byz-multicycle" ->
+        let attack =
+          match attack with
+          | "default" | "nearmiss" -> Byz_multicycle.Near_miss
+          | "silent" -> Byz_multicycle.Silent
+          | "lie" -> Byz_multicycle.Consistent_lie
+          | "equivocate" -> Byz_multicycle.Equivocate
+          | other -> failwith ("unknown multicycle attack: " ^ other)
+        in
+        Byz_multicycle.run_with ~opts ~attack ?segments inst
+      | name -> (
+        match Select.by_name name with
+        | Some (module P : Exec.PROTOCOL) -> P.run ~opts inst
+        | None -> failwith ("unknown protocol: " ^ name))
+    in
+    (match trace with
+    | Some tr ->
+      (match trace_out with
+      | Some path -> Dr_engine.Trace.save tr path
+      | None -> ());
+      if trace_flag then Format.printf "%a@." Dr_engine.Trace.pp tr;
+      if matrix_flag then begin
+        Format.printf "%a@." (Dr_engine.Trace_stats.pp_matrix ~label:"msgs")
+          (Dr_engine.Trace_stats.message_matrix tr ~k);
+        match Dr_engine.Trace_stats.busiest_link (Dr_engine.Trace_stats.bits_matrix tr ~k) with
+        | Some (src, dst, w) -> Format.printf "busiest link: %d -> %d (%d bits)@." src dst w
+        | None -> ()
+      end
+    | None -> ());
+    Format.printf "%a@." Problem.pp_report report;
+    if report.Problem.ok then `Ok () else `Error (false, "download failed")
+  end
+
+let cmd =
+  let term =
+    Term.(
+      ret
+        (const run $ protocol_arg $ peers_arg $ bits_arg $ faults_arg $ model_arg $ seed_arg
+       $ msg_bits_arg $ latency_arg $ crash_arg $ attack_arg $ segments_arg $ trace_arg
+       $ matrix_arg $ trace_out_arg $ explore_arg))
+  in
+  Cmd.v
+    (Cmd.info "dr_download" ~doc:"Run a distributed Download protocol in the simulator")
+    term
+
+let () = exit (Cmd.eval cmd)

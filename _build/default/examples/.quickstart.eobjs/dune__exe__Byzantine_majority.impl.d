@@ -1,0 +1,1 @@
+examples/byzantine_majority.ml: Byz_2cycle Committee Dr_adversary Dr_core Dr_lowerbound Exec Format Int64 List Printf Problem

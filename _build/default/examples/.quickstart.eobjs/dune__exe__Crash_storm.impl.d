@@ -1,0 +1,1 @@
+examples/crash_storm.ml: Crash_general Dr_adversary Dr_core Dr_engine Dr_source Exec Format Printf Problem

@@ -1,0 +1,1 @@
+examples/price_feed_oracle.ml: Array Dr_oracle Dr_stats List Printf

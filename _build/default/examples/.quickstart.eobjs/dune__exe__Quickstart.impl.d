@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dr_adversary Dr_core Dr_engine Exec Format Naive Printf Problem Select

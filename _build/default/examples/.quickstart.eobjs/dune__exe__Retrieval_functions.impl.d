@@ -1,0 +1,1 @@
+examples/retrieval_functions.ml: Array Committee Crash_general Dr_adversary Dr_core Dr_engine Dr_oracle Exec List Printf Problem Retrieve

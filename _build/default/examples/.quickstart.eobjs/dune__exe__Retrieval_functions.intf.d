@@ -1,0 +1,1 @@
+examples/retrieval_functions.mli:

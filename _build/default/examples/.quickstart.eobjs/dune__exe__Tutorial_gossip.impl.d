@@ -1,0 +1,1 @@
+examples/tutorial_gossip.ml: Array Dr_adversary Dr_core Dr_engine Dr_source Exec Format Printf Problem

@@ -1,0 +1,1 @@
+examples/tutorial_gossip.mli:

@@ -1,0 +1,82 @@
+(* The protocol developed in TUTORIAL.md, verbatim: a fault-free pull-based
+   gossip Download. Exists so the tutorial's code is compiled, run and
+   schedule-explored on every `dune runtest`.
+
+   Run with:  dune exec examples/tutorial_gossip.exe *)
+
+open Dr_core
+module Bitarray = Dr_source.Bitarray
+module Segment = Dr_source.Segment
+
+type msg = Want of { seg : int } | Have of { seg : int; bits : Bitarray.t }
+
+module Msg = struct
+  type t = msg
+
+  let size_bits = function Want _ -> 64 | Have { bits; _ } -> 64 + Bitarray.length bits
+
+  let tag = function
+    | Want { seg } -> Printf.sprintf "want(%d)" seg
+    | Have { seg; _ } -> Printf.sprintf "have(%d)" seg
+end
+
+module S = Dr_engine.Sim.Make (Msg)
+
+let process ~spec ~n i =
+  let y = Bitarray.create n in
+  let have = Array.make spec.Segment.s false in
+  let pos, len = Segment.bounds spec i in
+  for r = 0 to len - 1 do
+    Bitarray.set y (pos + r) (S.query (pos + r))
+  done;
+  have.(i) <- true;
+  S.broadcast (Want { seg = (i + 1) mod spec.Segment.s });
+  let missing = ref (spec.Segment.s - 1) in
+  while !missing > 0 do
+    match S.receive () with
+    | src, Want { seg } ->
+      if have.(seg) then S.send src (Have { seg; bits = Segment.extract spec y seg })
+    | _, Have { seg; bits } ->
+      if not have.(seg) then begin
+        have.(seg) <- true;
+        decr missing;
+        Bitarray.blit ~src:bits ~dst:y ~pos:(Segment.start spec seg);
+        S.broadcast (Want { seg = (seg + 1) mod spec.Segment.s })
+      end
+  done;
+  (* Termination flood (the Claim 2 move): a peer that stops serving pull
+     requests would starve any late requester, so push everything once
+     before exiting. *)
+  for seg = 0 to spec.Segment.s - 1 do
+    S.broadcast (Have { seg; bits = Segment.extract spec y seg })
+  done;
+  y
+
+let run ?(opts = Exec.default) inst =
+  let cfg = Exec.build_config inst opts in
+  let n = Problem.n inst in
+  let spec = Segment.make ~n ~s:(min inst.Problem.k n) in
+  Exec.finish ~protocol:"lazy-gossip" inst (S.run cfg (process ~spec ~n))
+
+let () =
+  (* A jittered asynchronous run with serialized links. *)
+  let inst = Problem.random_instance ~seed:1L ~k:8 ~n:1024 ~t:0 () in
+  let opts =
+    Exec.default
+    |> Exec.with_latency (Dr_adversary.Latency.jittered (Dr_engine.Prng.create 2L))
+    |> Exec.with_link_rate 1024.
+  in
+  let report = run ~opts inst in
+  Format.printf "%a@." Problem.pp_report report;
+  assert report.Problem.ok;
+
+  (* And every delivery schedule of a tiny instance. *)
+  let tiny = Problem.random_instance ~seed:2L ~k:3 ~n:3 ~t:0 () in
+  let r =
+    Dr_engine.Explore.dfs ~budget:3_000 ~run:(fun ~arbiter ->
+        (run ~opts:(Exec.with_arbiter arbiter Exec.default) tiny).Problem.ok)
+  in
+  Printf.printf "schedule exploration: %d schedules, %d failures%s\n"
+    r.Dr_engine.Explore.schedules_run r.Dr_engine.Explore.failures
+    (if r.Dr_engine.Explore.exhausted then " (exhausted)" else " (prefix)");
+  assert (r.Dr_engine.Explore.failures = 0)

@@ -1,0 +1,1 @@
+lib/adversary/crash_plan.ml: Dr_engine Fault List

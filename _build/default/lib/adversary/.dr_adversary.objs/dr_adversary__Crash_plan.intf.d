@@ -1,0 +1,1 @@
+lib/adversary/crash_plan.mli: Dr_engine Fault

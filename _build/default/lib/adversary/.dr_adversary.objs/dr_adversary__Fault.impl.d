@@ -1,0 +1,1 @@
+lib/adversary/fault.ml: Array Dr_engine Format Fun List Seq String

@@ -1,0 +1,1 @@
+lib/adversary/fault.mli: Dr_engine Format

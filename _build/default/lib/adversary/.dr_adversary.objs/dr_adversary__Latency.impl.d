@@ -1,0 +1,1 @@
+lib/adversary/latency.ml: Dr_engine

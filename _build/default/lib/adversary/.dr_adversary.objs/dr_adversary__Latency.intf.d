@@ -1,0 +1,1 @@
+lib/adversary/latency.mli: Dr_engine

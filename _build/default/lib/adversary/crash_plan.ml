@@ -1,0 +1,27 @@
+type t = int -> Dr_engine.Sim.crash_spec
+
+let none _ = Dr_engine.Sim.Never
+
+let at_times pairs peer =
+  match List.assoc_opt peer pairs with
+  | Some time -> Dr_engine.Sim.At_time time
+  | None -> Dr_engine.Sim.Never
+
+let all_at fault time peer =
+  if Fault.is_faulty fault peer then Dr_engine.Sim.At_time time else Dr_engine.Sim.Never
+
+let staggered fault ~first ~gap peer =
+  if not (Fault.is_faulty fault peer) then Dr_engine.Sim.Never
+  else begin
+    let rank = ref 0 in
+    List.iteri (fun i p -> if p = peer then rank := i) fault.Fault.faulty_ids;
+    Dr_engine.Sim.At_time (first +. (float_of_int !rank *. gap))
+  end
+
+let mid_broadcast fault ~after_sends peer =
+  if Fault.is_faulty fault peer then Dr_engine.Sim.After_sends (max after_sends 0)
+  else Dr_engine.Sim.Never
+
+let after_queries fault j peer =
+  if Fault.is_faulty fault peer then Dr_engine.Sim.After_queries (max j 0)
+  else Dr_engine.Sim.Never

@@ -1,0 +1,31 @@
+(** Crash schedules for the crash-fault model.
+
+    Builds the [crash] field of a simulator configuration from a faulty-set
+    partition. The model lets the adversary stop a peer at any point,
+    including between the individual sends of a broadcast — [mid_broadcast]
+    exercises exactly that worst case (a peer that informed {e some} of the
+    others before dying). *)
+
+type t = int -> Dr_engine.Sim.crash_spec
+
+val none : t
+
+val at_times : (int * float) list -> t
+(** Explicit (peer, time) pairs; other peers never crash. *)
+
+val all_at : Fault.t -> float -> t
+(** Every faulty peer crashes at the given instant. *)
+
+val staggered : Fault.t -> first:float -> gap:float -> t
+(** The i-th faulty peer (in ID order) crashes at [first + i·gap] — one
+    failure per "phase", the schedule that forces the crash protocol through
+    its maximum number of reassignment rounds. *)
+
+val mid_broadcast : Fault.t -> after_sends:int -> t
+(** Every faulty peer completes exactly [after_sends] sends and dies
+    attempting the next: a partial broadcast. [after_sends <= 0] silences
+    them from the start (they still may query). *)
+
+val after_queries : Fault.t -> int -> t
+(** Faulty peers die after issuing that many queries — they paid for data
+    they will never share. *)

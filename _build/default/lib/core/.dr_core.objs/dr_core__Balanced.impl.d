@@ -1,0 +1,1 @@
+lib/core/balanced.ml: Array Dr_engine Dr_source Exec List Printf Problem Wire

@@ -1,0 +1,1 @@
+lib/core/byz_2cycle.ml: Decision_tree Dr_adversary Dr_engine Dr_source Exec Frequent Printf Problem

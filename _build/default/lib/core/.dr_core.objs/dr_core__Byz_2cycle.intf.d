@@ -1,0 +1,1 @@
+lib/core/byz_2cycle.mli: Exec Problem

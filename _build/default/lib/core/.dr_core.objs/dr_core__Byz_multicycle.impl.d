@@ -1,0 +1,1 @@
+lib/core/byz_multicycle.ml: Array Byz_2cycle Decision_tree Dr_adversary Dr_engine Dr_source Exec Frequent List Printf Problem

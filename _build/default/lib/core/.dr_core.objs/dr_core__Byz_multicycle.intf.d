@@ -1,0 +1,1 @@
+lib/core/byz_multicycle.mli: Exec Problem

@@ -1,0 +1,1 @@
+lib/core/committee.ml: Array Dr_adversary Dr_engine Dr_source Exec Hashtbl List Map Printf Problem

@@ -1,0 +1,1 @@
+lib/core/crash_general.ml: Array Dr_engine Dr_source Exec Fun Hashtbl Int64 List Printf Problem Seq Wire

@@ -1,0 +1,1 @@
+lib/core/crash_general.mli: Exec Problem

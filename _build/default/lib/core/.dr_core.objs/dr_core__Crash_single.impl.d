@@ -1,0 +1,1 @@
+lib/core/crash_single.ml: Array Dr_engine Dr_source Exec Fun Hashtbl List Printf Problem Wire

@@ -1,0 +1,1 @@
+lib/core/decision_tree.ml: Dr_source List

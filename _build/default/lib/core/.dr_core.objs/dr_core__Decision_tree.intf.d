@@ -1,0 +1,1 @@
+lib/core/decision_tree.mli: Dr_source

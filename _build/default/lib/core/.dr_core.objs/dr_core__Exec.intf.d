@@ -1,0 +1,1 @@
+lib/core/exec.mli: Dr_adversary Dr_engine Dr_source Problem

@@ -1,0 +1,1 @@
+lib/core/frequent.ml: Array Dr_source Hashtbl List Map

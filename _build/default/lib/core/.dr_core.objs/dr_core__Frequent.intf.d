@@ -1,0 +1,1 @@
+lib/core/frequent.mli: Dr_source

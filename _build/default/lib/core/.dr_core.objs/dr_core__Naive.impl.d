@@ -1,0 +1,1 @@
+lib/core/naive.ml: Dr_engine Dr_source Exec Problem

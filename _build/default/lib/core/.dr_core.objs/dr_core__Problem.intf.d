@@ -1,0 +1,1 @@
+lib/core/problem.mli: Dr_adversary Dr_engine Dr_source Format

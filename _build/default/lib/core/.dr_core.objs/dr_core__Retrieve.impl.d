@@ -1,0 +1,1 @@
+lib/core/retrieve.ml: Bool Dr_source Exec Int Printf Problem

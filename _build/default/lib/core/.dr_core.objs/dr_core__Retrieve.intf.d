@@ -1,0 +1,1 @@
+lib/core/retrieve.mli: Dr_source Exec Problem

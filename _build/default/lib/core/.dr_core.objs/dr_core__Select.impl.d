@@ -1,0 +1,1 @@
+lib/core/select.ml: Balanced Byz_2cycle Byz_multicycle Committee Crash_general Crash_single Exec List Naive Problem

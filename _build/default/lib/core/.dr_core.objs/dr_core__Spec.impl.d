@@ -1,0 +1,1 @@
+lib/core/spec.ml: Byz_2cycle Byz_multicycle List

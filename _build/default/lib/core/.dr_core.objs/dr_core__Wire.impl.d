@@ -1,0 +1,1 @@
+lib/core/wire.ml: Array Dr_source List

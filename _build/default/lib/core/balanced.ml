@@ -1,0 +1,64 @@
+module Bitarray = Dr_source.Bitarray
+module Segment = Dr_source.Segment
+
+type payload = { seg : int; part : int; bits : Bitarray.t }
+
+module Msg = struct
+  type t = payload
+
+  (* Segment id + part index + payload; headers cost ~2 words. *)
+  let size_bits { bits; _ } = 64 + Bitarray.length bits
+  let tag { seg; part; _ } = Printf.sprintf "share(seg=%d,part=%d)" seg part
+end
+
+module S = Dr_engine.Sim.Make (Msg)
+
+let name = "balanced"
+
+let supports inst =
+  if Problem.t inst = 0 then Ok () else Error "balanced tolerates no faults (beta = 0)"
+
+let run ?(opts = Exec.default) inst =
+  let cfg = Exec.build_config inst opts in
+  let n = Problem.n inst in
+  let k = inst.Problem.k in
+  let b = inst.Problem.b - 64 in
+  let b = if b < 1 then 1 else b in
+  let spec = Segment.make ~n ~s:(min k n) in
+  let process i =
+    let y = Bitarray.create n in
+    (* Query own segment (peers beyond the segment count own nothing). *)
+    let mine =
+      if i < spec.Segment.s then begin
+        let pos, len = Segment.bounds spec i in
+        let mine = Bitarray.init len (fun j -> S.query (pos + j)) in
+        Bitarray.blit ~src:mine ~dst:y ~pos;
+        Some mine
+      end
+      else None
+    in
+    (match mine with
+    | Some mine ->
+      List.iter (fun (part, bits) -> S.broadcast { seg = i; part; bits }) (Wire.split ~b mine)
+    | None -> ());
+    (* Collect every other segment. *)
+    let assemblies =
+      Array.init spec.Segment.s (fun seg -> Wire.Assembly.create ~len:(Segment.len spec seg) ~b)
+    in
+    let missing = ref (if i < spec.Segment.s then spec.Segment.s - 1 else spec.Segment.s) in
+    while !missing > 0 do
+      let _src, { seg; part; bits } = S.receive () in
+      if seg >= 0 && seg < spec.Segment.s && seg <> i then begin
+        let a = assemblies.(seg) in
+        if not (Wire.Assembly.complete a) then begin
+          Wire.Assembly.add a ~part bits;
+          if Wire.Assembly.complete a then begin
+            Bitarray.blit ~src:(Wire.Assembly.get a) ~dst:y ~pos:(Segment.start spec seg);
+            decr missing
+          end
+        end
+      end
+    done;
+    y
+  in
+  Exec.finish ~protocol:name inst (S.run cfg process)

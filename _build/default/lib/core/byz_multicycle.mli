@@ -1,0 +1,38 @@
+(** The multi-cycle randomized Byzantine Download protocol (Theorem 3.12).
+
+    Cycle 1 is the 2-cycle protocol's sampling step over s₁ segments (s₁ a
+    power of two). In every later cycle r the segments double in size
+    (s_r = s₁/2^(r−1)); each peer picks an r-segment uniformly, waits until
+    it has heard k−t cycle-(r−1) reports and both (r−1)-children of its pick
+    have a ρ_(r−1)-frequent string, resolves the two children with decision
+    trees, broadcasts their concatenation, and moves on. After 1 + log₂ s₁
+    cycles the segments are the whole input and every peer outputs what it
+    determined.
+
+    Compared to the 2-cycle protocol a peer resolves only the {e two}
+    children of its own pick per cycle instead of every segment at once, so
+    its decision-tree spend is proportional to the reports that happen to
+    fall on its picks — the expectation argument behind the paper's expected
+    query bound Õ(n/(γk)). Correct w.h.p. for β < 1/2. Message size grows to
+    Θ(n) in the final cycle, as in the paper. *)
+
+include Exec.PROTOCOL
+
+type attack = Silent | Near_miss | Consistent_lie | Equivocate | Flood of int
+(** Same attack catalog as {!Byz_2cycle}, applied in every cycle. *)
+
+val run_with :
+  ?opts:Exec.opts ->
+  ?attack:attack ->
+  ?segments:int ->
+  ?rho:int ->
+  Problem.instance ->
+  Problem.report
+(** [segments] overrides s₁ (rounded down to a power of two); [rho]
+    overrides the cycle-1 frequency threshold (later cycles double it as
+    the segment count halves). Defaults: [attack = Near_miss], s₁ and ρ
+    from the same case analysis as the 2-cycle protocol. *)
+
+val plan : k:int -> n:int -> t:int -> int * int
+(** [(s₁, cycles)]: the initial segment count (a power of two) and the
+    total number of cycles 1 + log₂ s₁. *)

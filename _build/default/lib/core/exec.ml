@@ -1,0 +1,94 @@
+module Bitarray = Dr_source.Bitarray
+
+type opts = {
+  latency : Dr_adversary.Latency.fn;
+  link_rate : float;
+  crash : Dr_adversary.Crash_plan.t;
+  query_latency : float;
+  start_time : int -> float;
+  trace : Dr_engine.Trace.t option;
+  max_events : int;
+  query_override : (peer:int -> int -> bool) option;
+  arbiter : Dr_engine.Sim.arbiter option;
+}
+
+let default =
+  {
+    latency = Dr_adversary.Latency.unit_delay;
+    link_rate = infinity;
+    crash = Dr_adversary.Crash_plan.none;
+    query_latency = 0.;
+    start_time = (fun _ -> 0.);
+    trace = None;
+    max_events = 200_000_000;
+    query_override = None;
+    arbiter = None;
+  }
+
+let with_latency latency opts = { opts with latency }
+let with_link_rate link_rate opts = { opts with link_rate }
+let with_crash crash opts = { opts with crash }
+let with_trace trace opts = { opts with trace = Some trace }
+let with_arbiter arbiter opts = { opts with arbiter = Some arbiter }
+
+let build_config inst opts =
+  let source = Dr_source.Data_source.create ~k:inst.Problem.k inst.Problem.x in
+  let query_bit =
+    match opts.query_override with
+    | Some f -> f
+    | None -> Dr_source.Data_source.query_fn source
+  in
+  {
+    (Dr_engine.Sim.default_config ~k:inst.Problem.k ~query_bit) with
+    seed = inst.Problem.seed;
+    latency = opts.latency;
+    link_rate = opts.link_rate;
+    crash = opts.crash;
+    query_latency = (fun ~peer:_ ~time:_ -> opts.query_latency);
+    start_time = opts.start_time;
+    trace = opts.trace;
+    max_events = opts.max_events;
+    arbiter = opts.arbiter;
+  }
+
+let finish ~protocol inst (outcome : Bitarray.t Dr_engine.Sim.outcome) =
+  let honest = Problem.honest inst in
+  let wrong = ref [] in
+  (* T is the instant the last nonfaulty peer terminates (the paper's time
+     complexity); stray deliveries to already-finished peers do not count.
+     If some honest peer never terminated, fall back to the last event. *)
+  let t_done = ref 0. in
+  let all_done = ref true in
+  for i = inst.Problem.k - 1 downto 0 do
+    if honest i then begin
+      match outcome.Dr_engine.Sim.outputs.(i) with
+      | Some (t, y) ->
+        if t > !t_done then t_done := t;
+        if not (Bitarray.equal y inst.Problem.x) then wrong := i :: !wrong
+      | None ->
+        all_done := false;
+        wrong := i :: !wrong
+    end
+  done;
+  let time = if !all_done then !t_done else outcome.Dr_engine.Sim.end_time in
+  let summary = Dr_engine.Metrics.summarize ~select:honest outcome.Dr_engine.Sim.metrics in
+  {
+    Problem.protocol;
+    ok = !wrong = [];
+    wrong = !wrong;
+    q_max = summary.Dr_engine.Metrics.max_queries;
+    q_mean = summary.Dr_engine.Metrics.mean_queries;
+    q_total = summary.Dr_engine.Metrics.total_queries;
+    msgs = summary.Dr_engine.Metrics.total_msgs;
+    bits_sent = summary.Dr_engine.Metrics.total_bits;
+    max_msg_bits = summary.Dr_engine.Metrics.max_msg_bits;
+    time;
+    wakeups_max = summary.Dr_engine.Metrics.max_wakeups;
+    status = outcome.Dr_engine.Sim.status;
+  }
+
+module type PROTOCOL = sig
+  val name : string
+  val supports : Problem.instance -> (unit, string) result
+  val run : ?opts:opts -> Problem.instance -> Problem.report
+end

@@ -1,0 +1,56 @@
+(** Shared execution machinery for all protocol modules.
+
+    Bundles the adversarial environment (latency policy, crash plan, query
+    latency, staggered starts) and turns a raw simulator outcome into a
+    {!Problem.report} by checking every nonfaulty output against [X]. *)
+
+type opts = {
+  latency : Dr_adversary.Latency.fn;
+  link_rate : float;
+      (** link bandwidth in bits per time unit (see {!Dr_engine.Sim.config});
+          [infinity] by default *)
+  crash : Dr_adversary.Crash_plan.t;
+  query_latency : float;  (** round-trip of one source query *)
+  start_time : int -> float;
+  trace : Dr_engine.Trace.t option;
+  max_events : int;
+  query_override : (peer:int -> int -> bool) option;
+      (** replace the source for selected peers — the lower-bound adversary
+          hands corrupted peers a simulated input this way *)
+  arbiter : Dr_engine.Sim.arbiter option;
+      (** schedule arbiter for systematic exploration (see
+          {!Dr_engine.Explore}); overrides latency-based ordering *)
+}
+
+val default : opts
+(** Unit latencies, no crashes, instant queries, simultaneous start. *)
+
+val with_latency : Dr_adversary.Latency.fn -> opts -> opts
+val with_link_rate : float -> opts -> opts
+val with_crash : Dr_adversary.Crash_plan.t -> opts -> opts
+val with_trace : Dr_engine.Trace.t -> opts -> opts
+val with_arbiter : Dr_engine.Sim.arbiter -> opts -> opts
+
+val build_config : Problem.instance -> opts -> Dr_engine.Sim.config
+(** Simulator configuration for the instance: a fresh counting data source
+    serving [X] (or the override), plus the adversarial environment from
+    [opts]. *)
+
+val finish :
+  protocol:string ->
+  Problem.instance ->
+  Dr_source.Bitarray.t Dr_engine.Sim.outcome ->
+  Problem.report
+(** Check outputs and aggregate metrics over {e nonfaulty} peers only, per
+    the paper's definitions of Q and M. A nonfaulty peer with a missing
+    output (deadlocked) counts as wrong. *)
+
+module type PROTOCOL = sig
+  val name : string
+
+  val supports : Problem.instance -> (unit, string) result
+  (** Whether the protocol's resilience precondition holds for the
+      instance (e.g. the committee protocol needs [2t + 1 <= k]). *)
+
+  val run : ?opts:opts -> Problem.instance -> Problem.report
+end

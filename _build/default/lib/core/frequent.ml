@@ -1,0 +1,53 @@
+module Bitarray = Dr_source.Bitarray
+
+module Strmap = Map.Make (struct
+  type t = Bitarray.t
+
+  let compare = Bitarray.compare
+end)
+
+type t = {
+  mutable per_seg : int Strmap.t array;  (** segment -> string -> reporter count *)
+  seen : (int, unit) Hashtbl.t;  (** peers that already reported *)
+  mutable totals : int array;
+}
+
+let create () = { per_seg = [||]; seen = Hashtbl.create 64; totals = [||] }
+
+let ensure t seg =
+  let cur = Array.length t.per_seg in
+  if seg >= cur then begin
+    let grown = Array.make (max (seg + 1) (max 4 (2 * cur))) Strmap.empty in
+    Array.blit t.per_seg 0 grown 0 cur;
+    t.per_seg <- grown;
+    let totals = Array.make (Array.length grown) 0 in
+    Array.blit t.totals 0 totals 0 cur;
+    t.totals <- totals
+  end
+
+let add t ~seg ~peer s =
+  if seg < 0 then invalid_arg "Frequent.add: negative segment";
+  if Hashtbl.mem t.seen peer then false
+  else begin
+    Hashtbl.add t.seen peer ();
+    ensure t seg;
+    let m = t.per_seg.(seg) in
+    let count = match Strmap.find_opt s m with Some c -> c | None -> 0 in
+    t.per_seg.(seg) <- Strmap.add s (count + 1) m;
+    t.totals.(seg) <- t.totals.(seg) + 1;
+    true
+  end
+
+let reporters t = Hashtbl.length t.seen
+let total_for t ~seg = if seg < Array.length t.totals then t.totals.(seg) else 0
+
+let strings_for t ~seg =
+  if seg >= Array.length t.per_seg then []
+  else Strmap.fold (fun s c acc -> (s, c) :: acc) t.per_seg.(seg) []
+
+let frequent t ~seg ~rho =
+  List.filter_map (fun (s, c) -> if c >= rho then Some s else None) (strings_for t ~seg)
+
+let covered t ~segments ~rho =
+  let rec go seg = seg >= segments || (frequent t ~seg ~rho <> [] && go (seg + 1)) in
+  go 0

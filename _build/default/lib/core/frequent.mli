@@ -1,0 +1,31 @@
+(** ρ-frequent string bookkeeping for the randomized protocols.
+
+    Collects the [⟨segment, string⟩] reports received from other peers and
+    answers "which strings for segment [j] were reported by at least ρ
+    distinct peers". Each peer's {e first} report (per cycle) is the only one
+    counted — the paper's accounting "each peer sends no more than one string
+    overall" is enforced here, so a Byzantine flooder cannot inflate R_j. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> seg:int -> peer:int -> Dr_source.Bitarray.t -> bool
+(** Record a report. Returns [false] (and ignores the report) if this peer
+    already reported any segment into this store. *)
+
+val reporters : t -> int
+(** Number of distinct peers that have reported. *)
+
+val total_for : t -> seg:int -> int
+(** R_j: reports received for segment [j], including duplicates. *)
+
+val strings_for : t -> seg:int -> (Dr_source.Bitarray.t * int) list
+(** Distinct strings with their reporter counts. *)
+
+val frequent : t -> seg:int -> rho:int -> Dr_source.Bitarray.t list
+(** Strings reported by ≥ rho distinct peers. *)
+
+val covered : t -> segments:int -> rho:int -> bool
+(** Does every segment in [0 .. segments-1] have a ρ-frequent string? This is
+    the paper's asynchronous waiting condition for entering cycle 2. *)

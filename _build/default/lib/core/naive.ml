@@ -1,0 +1,25 @@
+module Bitarray = Dr_source.Bitarray
+
+module Msg = struct
+  type t = unit
+
+  let size_bits () = 0
+  let tag () = "none"
+end
+
+module S = Dr_engine.Sim.Make (Msg)
+
+let name = "naive"
+let supports _ = Ok ()
+
+let run ?(opts = Exec.default) inst =
+  let cfg = Exec.build_config inst opts in
+  let n = Problem.n inst in
+  let process _i =
+    let y = Bitarray.create n in
+    for j = 0 to n - 1 do
+      Bitarray.set y j (S.query j)
+    done;
+    y
+  in
+  Exec.finish ~protocol:name inst (S.run cfg process)

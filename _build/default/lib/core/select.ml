@@ -1,0 +1,31 @@
+type preference = Deterministic | Randomized
+
+let all : (module Exec.PROTOCOL) list =
+  [
+    (module Naive);
+    (module Balanced);
+    (module Crash_single);
+    (module Crash_general);
+    (module Committee);
+    (module Byz_2cycle);
+    (module Byz_multicycle);
+  ]
+
+let by_name name =
+  List.find_opt (fun (module P : Exec.PROTOCOL) -> P.name = name) all
+
+let for_instance ?(prefer = Randomized) inst =
+  let t = Problem.t inst in
+  match inst.Problem.model with
+  | Problem.Crash ->
+    if t = 0 then (module Balanced : Exec.PROTOCOL)
+    else if t = 1 then (module Crash_single)
+    else (module Crash_general)
+  | Problem.Byzantine ->
+    if t = 0 then (module Balanced)
+    else if 2 * t < inst.Problem.k then begin
+      match prefer with
+      | Deterministic -> (module Committee)
+      | Randomized -> (module Byz_2cycle)
+    end
+    else (module Naive)

@@ -1,0 +1,20 @@
+(** Regime-based protocol selection (the paper's case analysis as code).
+
+    Given an instance's fault model and resilience, picks the protocol the
+    paper would: balanced when nothing fails; Algorithm 1 or 2 under
+    crashes; committees (deterministic) or segment sampling (randomized) for
+    a Byzantine minority; and — per Theorems 3.1/3.2 — nothing better than
+    naive once the Byzantine peers reach half. *)
+
+type preference = Deterministic | Randomized
+
+val for_instance : ?prefer:preference -> Problem.instance -> (module Exec.PROTOCOL)
+(** The protocol whose [supports] accepts the instance and whose query
+    complexity is the best the paper offers for the regime.
+    [prefer] breaks the deterministic/randomized tie for β < 1/2 Byzantine
+    instances (default [Randomized], the asymptotically better choice). *)
+
+val all : (module Exec.PROTOCOL) list
+(** Every Download protocol in the library, baselines included. *)
+
+val by_name : string -> (module Exec.PROTOCOL) option

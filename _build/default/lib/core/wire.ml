@@ -1,0 +1,48 @@
+module Bitarray = Dr_source.Bitarray
+
+let parts ~b len =
+  if b <= 0 then invalid_arg "Wire.parts: b must be positive";
+  if len = 0 then 1 else (len + b - 1) / b
+
+let split ~b bits =
+  let len = Bitarray.length bits in
+  if len = 0 then [ (0, Bitarray.create 0) ]
+  else
+    List.init (parts ~b len) (fun part ->
+        let pos = part * b in
+        (part, Bitarray.sub bits ~pos ~len:(min b (len - pos))))
+
+module Assembly = struct
+  type t = {
+    buffer : Bitarray.t;
+    b : int;
+    have : bool array;  (** which parts have arrived *)
+    mutable missing : int;
+  }
+
+  let create ~len ~b =
+    if b <= 0 then invalid_arg "Wire.Assembly.create: b must be positive";
+    if len < 0 then invalid_arg "Wire.Assembly.create: negative length";
+    let count = parts ~b len in
+    { buffer = Bitarray.create len; b; have = Array.make count false; missing = count }
+
+  let add t ~part payload =
+    if part < 0 || part >= Array.length t.have then invalid_arg "Wire.Assembly.add: bad part";
+    let pos = part * t.b in
+    let expected = min t.b (Bitarray.length t.buffer - pos) in
+    if Bitarray.length payload <> expected then
+      invalid_arg "Wire.Assembly.add: payload size mismatch";
+    if not t.have.(part) then begin
+      t.have.(part) <- true;
+      t.missing <- t.missing - 1;
+      if expected > 0 then Bitarray.blit ~src:payload ~dst:t.buffer ~pos
+    end
+
+  let complete t = t.missing = 0
+
+  let get t =
+    if not (complete t) then invalid_arg "Wire.Assembly.get: incomplete";
+    Bitarray.copy t.buffer
+
+  let received_parts t = Array.length t.have - t.missing
+end

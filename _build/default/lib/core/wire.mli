@@ -1,0 +1,31 @@
+(** Packetization of bit strings under the message bound B.
+
+    Protocols that ship whole segments or arrays split them into parts of at
+    most [payload] bits each and reassemble on the receiving side. Part
+    indices are carried explicitly, so parts may arrive in any order (and
+    some may be missing after a mid-broadcast crash). *)
+
+val parts : b:int -> int -> int
+(** [parts ~b len] is the number of packets needed for [len] bits. *)
+
+val split : b:int -> Dr_source.Bitarray.t -> (int * Dr_source.Bitarray.t) list
+(** [(part_index, payload)] covering the array in order. Empty arrays yield
+    a single empty part so that "I sent you my (empty) share" is still a
+    message. *)
+
+module Assembly : sig
+  (** Reassembly buffer for one logical string. *)
+
+  type t
+
+  val create : len:int -> b:int -> t
+  val add : t -> part:int -> Dr_source.Bitarray.t -> unit
+  (** Ignores duplicate parts; raises [Invalid_argument] on a part whose
+      size is inconsistent with the declared length. *)
+
+  val complete : t -> bool
+  val get : t -> Dr_source.Bitarray.t
+  (** The reassembled string; raises [Invalid_argument] when incomplete. *)
+
+  val received_parts : t -> int
+end

@@ -1,0 +1,1 @@
+lib/engine/explore.ml: List Prng

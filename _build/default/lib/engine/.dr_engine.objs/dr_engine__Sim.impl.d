@@ -1,0 +1,1 @@
+lib/engine/sim.ml: Array Effect Float Hashtbl Heap List Metrics Prng Queue Trace

@@ -1,0 +1,1 @@
+lib/engine/trace.ml: Array Format Fun List Printf String

@@ -1,0 +1,1 @@
+lib/engine/trace_stats.ml: Array Format List Printf String Trace

@@ -1,0 +1,1 @@
+lib/engine/trace_stats.mli: Format Trace

@@ -1,0 +1,78 @@
+type outcome = {
+  schedules_run : int;
+  exhausted : bool;
+  failures : int;
+  first_failure : int list option;
+  max_depth : int;
+}
+
+let scripted script =
+  let remaining = ref script in
+  fun count ->
+    match !remaining with
+    | c :: tl ->
+      remaining := tl;
+      if c < count then c else count - 1
+    | [] -> 0
+
+let random prng count = Prng.int prng count
+
+let dfs ~budget ~run =
+  (* The DFS frontier is a choice script: replay it, extend with zeros, and
+     record (choice, alternatives) per step; backtracking increments the
+     deepest incrementable position. Prefix determinism (same choices, same
+     execution) makes replay exact. *)
+  let script = ref [] in
+  let schedules = ref 0 in
+  let failures = ref 0 in
+  let first_failure = ref None in
+  let max_depth = ref 0 in
+  let exhausted = ref false in
+  (try
+     while !schedules < budget do
+       let log = ref [] in
+       let remaining = ref !script in
+       let arbiter count =
+         let choice =
+           match !remaining with
+           | c :: tl ->
+             remaining := tl;
+             if c < count then c else count - 1
+           | [] -> 0
+         in
+         log := (choice, count) :: !log;
+         choice
+       in
+       let ok = run ~arbiter in
+       incr schedules;
+       let choices = List.rev !log in
+       if List.length choices > !max_depth then max_depth := List.length choices;
+       if not ok then begin
+         incr failures;
+         if !first_failure = None then first_failure := Some (List.map fst choices)
+       end;
+       (* Next schedule: bump the deepest position with room to grow. *)
+       let rec next_script rev_prefix = function
+         | [] -> None
+         | (choice, count) :: rest ->
+           (match next_script ((choice, count) :: rev_prefix) rest with
+           | Some s -> Some s
+           | None ->
+             if choice + 1 < count then
+               Some (List.rev_map fst rev_prefix @ [ choice + 1 ])
+             else None)
+       in
+       match next_script [] choices with
+       | Some s -> script := s
+       | None ->
+         exhausted := true;
+         raise Exit
+     done
+   with Exit -> ());
+  {
+    schedules_run = !schedules;
+    exhausted = !exhausted;
+    failures = !failures;
+    first_failure = !first_failure;
+    max_depth = !max_depth;
+  }

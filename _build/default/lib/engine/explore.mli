@@ -1,0 +1,34 @@
+(** Bounded systematic schedule exploration.
+
+    The asynchronous adversary's whole power over honest peers is the order
+    in which pending events (message deliveries, start signals, source
+    replies) fire. With {!Sim.arbiter} that order becomes an explicit choice
+    sequence, so correctness can be checked against {e every} schedule of a
+    small instance — depth-first, deterministically, re-executing the
+    simulation once per schedule — instead of against a handful of sampled
+    latency policies. The schedule tree of any non-trivial run is
+    astronomical, so exploration is budgeted: [exhausted = true] means the
+    whole tree was covered, otherwise the DFS covered a lexicographic prefix
+    of it. *)
+
+type outcome = {
+  schedules_run : int;
+  exhausted : bool;  (** the full schedule tree fit inside the budget *)
+  failures : int;
+  first_failure : int list option;
+      (** the choice script of the first failing schedule — replay it by
+          passing the same script to {!scripted} *)
+  max_depth : int;  (** longest schedule seen (events per execution) *)
+}
+
+val dfs : budget:int -> run:(arbiter:Sim.arbiter -> bool) -> outcome
+(** [dfs ~budget ~run] calls [run] once per schedule, handing it an arbiter
+    that drives that schedule; [run] returns whether the execution was
+    correct. [run] must be deterministic given the arbiter's choices. *)
+
+val scripted : int list -> Sim.arbiter
+(** An arbiter that follows the given choice script, then always picks 0 —
+    for replaying a failure found by {!dfs}. *)
+
+val random : Prng.t -> Sim.arbiter
+(** A uniformly random arbiter — schedule fuzzing beyond the DFS prefix. *)

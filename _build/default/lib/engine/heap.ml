@@ -1,0 +1,67 @@
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; len = 0; next_seq = 0 }
+
+let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h =
+  let cap = Array.length h.data in
+  let new_cap = if cap = 0 then 16 else cap * 2 in
+  let data = Array.make new_cap h.data.(0) in
+  Array.blit h.data 0 data 0 h.len;
+  h.data <- data
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt h.data.(i) h.data.(parent) then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < h.len && lt h.data.(left) h.data.(!smallest) then smallest := left;
+  if right < h.len && lt h.data.(right) h.data.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h ~time value =
+  let entry = { time; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  if h.len = 0 && Array.length h.data = 0 then h.data <- Array.make 16 entry
+  else if h.len = Array.length h.data then grow h;
+  h.data.(h.len) <- entry;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      sift_down h 0
+    end;
+    Some (top.time, top.value)
+  end
+
+let peek_time h = if h.len = 0 then None else Some h.data.(0).time
+let is_empty h = h.len = 0
+let size h = h.len
+let clear h = h.len <- 0

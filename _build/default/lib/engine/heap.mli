@@ -1,0 +1,24 @@
+(** Binary min-heap keyed by [(time, sequence)].
+
+    The event queue of the simulator. Ties on time are broken by insertion
+    order, which keeps executions deterministic: two events scheduled for the
+    same instant are processed in the order they were scheduled. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Schedule a value at [time]. O(log n). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event, or [None] when empty. O(log n). *)
+
+val peek_time : 'a t -> float option
+(** Time of the earliest event without removing it. *)
+
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val clear : 'a t -> unit
+(** Drop all pending events. *)

@@ -1,0 +1,73 @@
+type peer = {
+  mutable queries : int;
+  mutable msgs_sent : int;
+  mutable bits_sent : int;
+  mutable msgs_received : int;
+  mutable max_msg_bits : int;
+  mutable wakeups : int;
+}
+
+type t = peer array
+
+let fresh_peer () =
+  { queries = 0; msgs_sent = 0; bits_sent = 0; msgs_received = 0; max_msg_bits = 0; wakeups = 0 }
+
+let create k = Array.init k (fun _ -> fresh_peer ())
+let peer t i = t.(i)
+let peer_count t = Array.length t
+
+let on_query t i = t.(i).queries <- t.(i).queries + 1
+
+let on_send t i ~size_bits =
+  let p = t.(i) in
+  p.msgs_sent <- p.msgs_sent + 1;
+  p.bits_sent <- p.bits_sent + size_bits;
+  if size_bits > p.max_msg_bits then p.max_msg_bits <- size_bits
+
+let on_receive t i = t.(i).msgs_received <- t.(i).msgs_received + 1
+let on_wakeup t i = t.(i).wakeups <- t.(i).wakeups + 1
+
+type summary = {
+  max_queries : int;
+  total_queries : int;
+  total_msgs : int;
+  total_bits : int;
+  max_msg_bits : int;
+  mean_queries : float;
+  max_wakeups : int;
+}
+
+let summarize ?(select = fun _ -> true) t =
+  let max_queries = ref 0
+  and total_queries = ref 0
+  and total_msgs = ref 0
+  and total_bits = ref 0
+  and max_msg_bits = ref 0
+  and max_wakeups = ref 0
+  and selected = ref 0 in
+  Array.iteri
+    (fun i p ->
+      if select i then begin
+        incr selected;
+        if p.queries > !max_queries then max_queries := p.queries;
+        total_queries := !total_queries + p.queries;
+        total_msgs := !total_msgs + p.msgs_sent;
+        total_bits := !total_bits + p.bits_sent;
+        if p.max_msg_bits > !max_msg_bits then max_msg_bits := p.max_msg_bits;
+        if p.wakeups > !max_wakeups then max_wakeups := p.wakeups
+      end)
+    t;
+  {
+    max_queries = !max_queries;
+    total_queries = !total_queries;
+    total_msgs = !total_msgs;
+    total_bits = !total_bits;
+    max_msg_bits = !max_msg_bits;
+    mean_queries =
+      (if !selected = 0 then 0. else float_of_int !total_queries /. float_of_int !selected);
+    max_wakeups = !max_wakeups;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "Q=%d (mean %.1f) M=%d bits=%d max_msg=%d" s.max_queries s.mean_queries
+    s.total_msgs s.total_bits s.max_msg_bits

@@ -1,0 +1,46 @@
+(** Per-peer cost accounting.
+
+    Tracks the three complexity measures of the DR model — queries, time and
+    messages — plus bit volumes, for every peer of an execution. The runner
+    decides which peers count as nonfaulty when summarizing (the paper's Q is
+    a max over {e nonfaulty} peers only). *)
+
+type peer = {
+  mutable queries : int;  (** bits queried at the source *)
+  mutable msgs_sent : int;
+  mutable bits_sent : int;
+  mutable msgs_received : int;
+  mutable max_msg_bits : int;  (** largest single message sent *)
+  mutable wakeups : int;  (** times the peer was resumed by a delivery *)
+}
+
+type t
+
+val create : int -> t
+(** [create k] allocates counters for [k] peers. *)
+
+val peer : t -> int -> peer
+val peer_count : t -> int
+
+val on_query : t -> int -> unit
+val on_send : t -> int -> size_bits:int -> unit
+val on_receive : t -> int -> unit
+val on_wakeup : t -> int -> unit
+
+type summary = {
+  max_queries : int;  (** Q: max queries over the selected peers *)
+  total_queries : int;
+  total_msgs : int;  (** M: messages sent by the selected peers *)
+  total_bits : int;
+  max_msg_bits : int;
+  mean_queries : float;
+  max_wakeups : int;
+      (** most times any selected peer was resumed by a delivery — a proxy
+          for the paper's per-peer cycle count *)
+}
+
+val summarize : ?select:(int -> bool) -> t -> summary
+(** Aggregate over the peers satisfying [select] (default: all). Pass the
+    honesty predicate to obtain the paper's Q and M. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,64 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* splitmix64, used to expand seeds into full xoshiro state. *)
+let splitmix_next state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  let st = ref seed in
+  let s0 = splitmix_next st in
+  let s1 = splitmix_next st in
+  let s2 = splitmix_next st in
+  let s3 = splitmix_next st in
+  { s0; s1; s2; s3 }
+
+let next64 g =
+  let result = Int64.mul (rotl (Int64.mul g.s1 5L) 7) 9L in
+  let t = Int64.shift_left g.s1 17 in
+  g.s2 <- Int64.logxor g.s2 g.s0;
+  g.s3 <- Int64.logxor g.s3 g.s1;
+  g.s1 <- Int64.logxor g.s1 g.s2;
+  g.s0 <- Int64.logxor g.s0 g.s3;
+  g.s2 <- Int64.logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let split g = create (next64 g)
+
+let int g bound =
+  assert (bound > 0);
+  Int64.to_int (Int64.unsigned_rem (next64 g) (Int64.of_int bound))
+
+let float g bound =
+  let mantissa = Int64.shift_right_logical (next64 g) 11 in
+  Int64.to_float mantissa *. (1.0 /. 9007199254740992.0) *. bound
+
+let bool g = Int64.logand (next64 g) 1L = 1L
+
+let bits g w =
+  assert (w >= 0 && w <= 30);
+  if w = 0 then 0
+  else Int64.to_int (Int64.shift_right_logical (next64 g) (64 - w))
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g a =
+  assert (Array.length a > 0);
+  a.(int g (Array.length a))

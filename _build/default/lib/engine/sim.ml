@@ -1,0 +1,360 @@
+exception Crashed
+exception Halted
+
+module type MESSAGE = sig
+  type t
+
+  val size_bits : t -> int
+  val tag : t -> string
+end
+
+type crash_spec = Never | At_time of float | After_sends of int | After_queries of int
+
+type status = Completed | Deadlock of int list | Event_limit_reached
+
+type arbiter = int -> int
+
+type config = {
+  k : int;
+  seed : int64;
+  query_bit : peer:int -> int -> bool;
+  query_latency : peer:int -> time:float -> float;
+  latency : src:int -> dst:int -> time:float -> size_bits:int -> float;
+  link_rate : float;
+  crash : int -> crash_spec;
+  start_time : int -> float;
+  trace : Trace.t option;
+  max_events : int;
+  arbiter : arbiter option;
+}
+
+let default_config ~k ~query_bit =
+  {
+    k;
+    seed = 1L;
+    query_bit;
+    query_latency = (fun ~peer:_ ~time:_ -> 0.);
+    latency = (fun ~src:_ ~dst:_ ~time:_ ~size_bits:_ -> 1.);
+    link_rate = infinity;
+    crash = (fun _ -> Never);
+    start_time = (fun _ -> 0.);
+    trace = None;
+    max_events = 200_000_000;
+    arbiter = None;
+  }
+
+type 'r outcome = {
+  outputs : (float * 'r) option array;
+  metrics : Metrics.t;
+  status : status;
+  end_time : float;
+}
+
+module Make (M : MESSAGE) = struct
+  type _ Effect.t +=
+    | E_send : int * M.t -> unit Effect.t
+    | E_receive : (int * M.t) Effect.t
+    | E_query : int -> bool Effect.t
+    | E_now : float Effect.t
+    | E_me : int Effect.t
+    | E_k : int Effect.t
+    | E_rng : Prng.t Effect.t
+    | E_sleep : float -> unit Effect.t
+    | E_note : string -> unit Effect.t
+
+  let me () = Effect.perform E_me
+  let peer_count () = Effect.perform E_k
+  let now () = Effect.perform E_now
+  let send dst msg = Effect.perform (E_send (dst, msg))
+
+  let broadcast msg =
+    let self = me () and k = peer_count () in
+    for dst = 0 to k - 1 do
+      if dst <> self then send dst msg
+    done
+
+  let receive () = Effect.perform E_receive
+  let query i = Effect.perform (E_query i)
+  let rng () = Effect.perform E_rng
+  let sleep d = Effect.perform (E_sleep d)
+  let note text = Effect.perform (E_note text)
+  let die () = raise Halted
+
+  type wait =
+    | Idle
+    | On_receive of (int * M.t, unit) Effect.Deep.continuation
+    | On_query_reply of (bool, unit) Effect.Deep.continuation
+    | On_wake of (unit, unit) Effect.Deep.continuation
+
+  type pstate = {
+    id : int;
+    mutable alive : bool;
+    mutable finished : bool;
+    mailbox : (int * M.t) Queue.t;
+    mutable wait : wait;
+    prng : Prng.t;
+    mutable sends : int;
+    mutable queries : int;
+  }
+
+  type event =
+    | Ev_start of int
+    | Ev_deliver of { dst : int; src : int; msg : M.t }
+    | Ev_crash of int
+    | Ev_query_reply of { peer : int; value : bool }
+    | Ev_wake of int
+
+  let run cfg proc =
+    let master = Prng.create cfg.seed in
+    let peers =
+      Array.init cfg.k (fun id ->
+          {
+            id;
+            alive = true;
+            finished = false;
+            mailbox = Queue.create ();
+            wait = Idle;
+            prng = Prng.split master;
+            sends = 0;
+            queries = 0;
+          })
+    in
+    let heap = Heap.create () in
+    (* Store-and-forward link serialization: each ordered link transmits at
+       [link_rate] bits per time unit, one message at a time, in FIFO order.
+       [infinity] (the default) models unbounded bandwidth. *)
+    let link_free : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+    let metrics = Metrics.create cfg.k in
+    let outputs = Array.make cfg.k None in
+    let clock = ref 0. in
+    let events_done = ref 0 in
+    let tr f = match cfg.trace with None -> () | Some t -> Trace.record t (f ()) in
+    (* Killing a peer: mark dead and unwind its blocked fiber if any. *)
+    let kill p =
+      if p.alive then begin
+        p.alive <- false;
+        tr (fun () -> Trace.Crashed { time = !clock; peer = p.id });
+        match p.wait with
+        | Idle -> ()
+        | On_receive k ->
+          p.wait <- Idle;
+          Effect.Deep.discontinue k Crashed
+        | On_query_reply k ->
+          p.wait <- Idle;
+          Effect.Deep.discontinue k Crashed
+        | On_wake k ->
+          p.wait <- Idle;
+          Effect.Deep.discontinue k Crashed
+      end
+    in
+    let handler_for p =
+      let open Effect.Deep in
+      let effc : type a. a Effect.t -> ((a, unit) continuation -> unit) option = function
+        | E_me -> Some (fun k -> continue k p.id)
+        | E_k -> Some (fun k -> continue k cfg.k)
+        | E_now -> Some (fun k -> continue k !clock)
+        | E_rng -> Some (fun k -> continue k p.prng)
+        | E_note text ->
+          Some
+            (fun k ->
+              tr (fun () -> Trace.Note { time = !clock; peer = p.id; text });
+              continue k ())
+        | E_send (dst, msg) ->
+          Some
+            (fun k ->
+              if dst < 0 || dst >= cfg.k then
+                discontinue k (Invalid_argument "Sim.send: bad destination")
+              else begin
+                (* [After_sends j] lets exactly [j] sends complete; the peer
+                   dies attempting the next one, so that send is lost. *)
+                let crash_now =
+                  match cfg.crash p.id with
+                  | After_sends j -> p.sends >= j
+                  | Never | At_time _ | After_queries _ -> false
+                in
+                if crash_now then begin
+                  p.alive <- false;
+                  tr (fun () -> Trace.Crashed { time = !clock; peer = p.id });
+                  discontinue k Crashed
+                end
+                else begin
+                  let size_bits = M.size_bits msg in
+                  let delay = cfg.latency ~src:p.id ~dst ~time:!clock ~size_bits in
+                  if not (delay >= 0.) then
+                    discontinue k (Invalid_argument "Sim.run: negative latency")
+                  else begin
+                    Metrics.on_send metrics p.id ~size_bits;
+                    tr (fun () ->
+                        Trace.Sent { time = !clock; src = p.id; dst; size_bits; tag = M.tag msg });
+                    let arrival =
+                      if cfg.link_rate = infinity then !clock +. delay
+                      else begin
+                        let free =
+                          match Hashtbl.find_opt link_free (p.id, dst) with
+                          | Some f -> f
+                          | None -> 0.
+                        in
+                        let departure = Float.max !clock free in
+                        let transmission = float_of_int size_bits /. cfg.link_rate in
+                        Hashtbl.replace link_free (p.id, dst) (departure +. transmission);
+                        departure +. transmission +. delay
+                      end
+                    in
+                    Heap.push heap ~time:arrival (Ev_deliver { dst; src = p.id; msg });
+                    p.sends <- p.sends + 1;
+                    continue k ()
+                  end
+                end
+              end)
+        | E_receive ->
+          Some
+            (fun k ->
+              if not (Queue.is_empty p.mailbox) then continue k (Queue.pop p.mailbox)
+              else p.wait <- On_receive k)
+        | E_query i ->
+          Some
+            (fun k ->
+              Metrics.on_query metrics p.id;
+              p.queries <- p.queries + 1;
+              let value = cfg.query_bit ~peer:p.id i in
+              tr (fun () -> Trace.Queried { time = !clock; peer = p.id; index = i; value });
+              let crash_now =
+                match cfg.crash p.id with
+                | After_queries j -> p.queries >= j
+                | Never | At_time _ | After_sends _ -> false
+              in
+              if crash_now then begin
+                p.alive <- false;
+                tr (fun () -> Trace.Crashed { time = !clock; peer = p.id });
+                discontinue k Crashed
+              end
+              else begin
+                let delay = cfg.query_latency ~peer:p.id ~time:!clock in
+                if delay <= 0. then continue k value
+                else begin
+                  p.wait <- On_query_reply k;
+                  Heap.push heap ~time:(!clock +. delay) (Ev_query_reply { peer = p.id; value })
+                end
+              end)
+        | E_sleep d ->
+          Some
+            (fun k ->
+              if not (d >= 0.) then discontinue k (Invalid_argument "Sim.sleep: negative")
+              else begin
+                p.wait <- On_wake k;
+                Heap.push heap ~time:(!clock +. d) (Ev_wake p.id)
+              end)
+        | _ -> None
+      in
+      {
+        retc = (fun () -> ());
+        exnc =
+          (function
+          | Crashed | Halted -> p.alive <- false
+          | e -> raise e);
+        effc;
+      }
+    in
+    let start_fiber p =
+      Effect.Deep.match_with
+        (fun () ->
+          let out = proc p.id in
+          outputs.(p.id) <- Some (!clock, out);
+          p.finished <- true;
+          tr (fun () -> Trace.Terminated { time = !clock; peer = p.id }))
+        () (handler_for p)
+    in
+    (* Seed the schedule: starts and timed crashes. *)
+    Array.iter
+      (fun p ->
+        Heap.push heap ~time:(cfg.start_time p.id) (Ev_start p.id);
+        match cfg.crash p.id with
+        | At_time t0 -> Heap.push heap ~time:t0 (Ev_crash p.id)
+        | Never | After_sends _ | After_queries _ -> ())
+      peers;
+    let status = ref Completed in
+    let handle = function
+      | Ev_start i ->
+        let p = peers.(i) in
+        if p.alive then start_fiber p
+      | Ev_deliver { dst; src; msg } ->
+        let p = peers.(dst) in
+        if p.alive && not p.finished then begin
+          Metrics.on_receive metrics dst;
+          tr (fun () -> Trace.Delivered { time = !clock; src; dst; tag = M.tag msg });
+          match p.wait with
+          | On_receive k ->
+            p.wait <- Idle;
+            Metrics.on_wakeup metrics dst;
+            Effect.Deep.continue k (src, msg)
+          | Idle | On_query_reply _ | On_wake _ -> Queue.push (src, msg) p.mailbox
+        end
+      | Ev_crash i -> kill peers.(i)
+      | Ev_query_reply { peer; value } ->
+        let p = peers.(peer) in
+        if p.alive then begin
+          match p.wait with
+          | On_query_reply k ->
+            p.wait <- Idle;
+            Effect.Deep.continue k value
+          | Idle | On_receive _ | On_wake _ -> ()
+        end
+      | Ev_wake i ->
+        let p = peers.(i) in
+        if p.alive then begin
+          match p.wait with
+          | On_wake k ->
+            p.wait <- Idle;
+            Effect.Deep.continue k ()
+          | Idle | On_receive _ | On_query_reply _ -> ()
+        end
+    in
+    (* Under an arbiter, events live in a plain list and the arbiter picks
+       which fires next; times are purely decorative (monotone counter). *)
+    let pending : event list ref = ref [] in
+    let next_event () =
+      match cfg.arbiter with
+      | None -> Heap.pop heap
+      | Some choose ->
+        (* Drain freshly scheduled events from the heap into the pool. *)
+        let rec drain () =
+          match Heap.pop heap with
+          | Some (_, ev) ->
+            pending := !pending @ [ ev ];
+            drain ()
+          | None -> ()
+        in
+        drain ();
+        let count = List.length !pending in
+        if count = 0 then None
+        else begin
+          let idx = choose count in
+          let idx = if idx < 0 || idx >= count then 0 else idx in
+          let ev = List.nth !pending idx in
+          pending := List.filteri (fun i _ -> i <> idx) !pending;
+          Some (!clock +. 1., ev)
+        end
+    in
+    let rec loop () =
+      if !events_done >= cfg.max_events then status := Event_limit_reached
+      else
+        match next_event () with
+        | None ->
+          let blocked =
+            Array.to_list peers
+            |> List.filter_map (fun p ->
+                   if p.alive && not p.finished then Some p.id else None)
+          in
+          if blocked <> [] then begin
+            tr (fun () -> Trace.Deadlocked { time = !clock; blocked });
+            status := Deadlock blocked
+          end
+        | Some (t, ev) ->
+          clock := t;
+          incr events_done;
+          handle ev;
+          loop ()
+    in
+    loop ();
+    { outputs; metrics; status = !status; end_time = !clock }
+end

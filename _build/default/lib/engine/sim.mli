@@ -1,0 +1,137 @@
+(** Deterministic discrete-event simulator for asynchronous message passing.
+
+    This is the substrate on which every protocol in the repository runs. It
+    implements the DR model of the paper: [k] peers on a complete network,
+    point-to-point messages with adversarially chosen finite delays, an
+    external source answering bit queries, crash injection, and no global
+    clock visible to the peers. Peers are written in direct style as ordinary
+    OCaml functions; blocking operations ([receive], [query], [sleep]) are
+    OCaml 5 effects interpreted by the event loop, so a peer reads exactly
+    like the paper's pseudo-code ("wait until it receives …").
+
+    Executions are fully deterministic given the configuration and seed:
+    the event queue breaks time ties by schedule order and all randomness
+    comes from {!Prng}. *)
+
+exception Crashed
+(** Raised inside a peer's process when the adversary crashes it; the engine
+    uses it to unwind the fiber. Protocol code must not catch it. *)
+
+exception Halted
+(** Raised by {!die}; used by Byzantine strategies that stop voluntarily. *)
+
+module type MESSAGE = sig
+  type t
+
+  val size_bits : t -> int
+  (** Size charged against the message-complexity accounting. Protocols are
+      responsible for respecting their own bound [B]. *)
+
+  val tag : t -> string
+  (** Short label used in traces. *)
+end
+
+type crash_spec =
+  | Never
+  | At_time of float  (** crash at the given instant (peer must be idle/blocked) *)
+  | After_sends of int
+      (** complete exactly j sends, die attempting the next: a mid-cycle
+          partial broadcast, the hard case of the crash model. [After_sends 0]
+          never sends anything. *)
+  | After_queries of int
+      (** crash immediately after the j-th source query is issued *)
+
+type status =
+  | Completed  (** every live peer's process returned *)
+  | Deadlock of int list  (** live peers still blocked when no event remained *)
+  | Event_limit_reached
+
+type arbiter = int -> int
+(** Schedule arbiter for systematic exploration: called with the number of
+    currently pending events, returns the index (0-based) of the one to fire
+    next. When set, event {e times} are ignored — any pending event may fire
+    in any order, which is exactly the asynchronous adversary's power over
+    message delays, start times and source replies. Sound for protocols that
+    never read the clock (all honest protocol logic here). Timed crashes
+    ([At_time]) are not meaningful under an arbiter; use [After_sends] /
+    [After_queries]. See {!Explore}. *)
+
+type config = {
+  k : int;  (** number of peers *)
+  seed : int64;
+  query_bit : peer:int -> int -> bool;
+      (** the external source. Per-peer so that lower-bound adversaries can
+          hand corrupted peers a different (simulated) input array. *)
+  query_latency : peer:int -> time:float -> float;
+      (** round-trip delay of a source query; [0.] answers instantly *)
+  latency : src:int -> dst:int -> time:float -> size_bits:int -> float;
+      (** adversarial propagation delay; must be finite and [>= 0.] *)
+  link_rate : float;
+      (** bits per time unit on each ordered link, transmitted one message
+          at a time in FIFO order — the paper's "a message of L bits takes
+          L/B time units". [infinity] (default) disables serialization. *)
+  crash : int -> crash_spec;
+  start_time : int -> float;  (** the adversary decides when peers start *)
+  trace : Trace.t option;
+  max_events : int;
+  arbiter : arbiter option;
+}
+
+val default_config : k:int -> query_bit:(peer:int -> int -> bool) -> config
+(** Unit latency on every link, instant queries, no crashes, simultaneous
+    start at time 0, no trace, generous event limit. *)
+
+type 'r outcome = {
+  outputs : (float * 'r) option array;
+      (** per peer: termination time and returned value; [None] for peers
+          that crashed, died or blocked forever *)
+  metrics : Metrics.t;
+  status : status;
+  end_time : float;  (** time of the last processed event *)
+}
+
+module Make (M : MESSAGE) : sig
+  (** {2 Process-side API}
+
+      These may only be called from inside a process executed by {!run}. *)
+
+  val me : unit -> int
+  val peer_count : unit -> int
+
+  val now : unit -> float
+  (** Current virtual time. Only for Byzantine strategies and
+      instrumentation — honest protocol logic must not read the clock
+      (the model has no global time). *)
+
+  val send : int -> M.t -> unit
+  val broadcast : M.t -> unit
+  (** [broadcast m] sends [m] to every other peer, in ID order. *)
+
+  val receive : unit -> int * M.t
+  (** Next delivered message as [(sender, message)]; blocks until one
+      arrives. Protocols keep their own buffers for out-of-phase messages,
+      as in the paper. *)
+
+  val query : int -> bool
+  (** Read one bit from the source (counted in Q). *)
+
+  val rng : unit -> Prng.t
+  (** This peer's private random stream. *)
+
+  val sleep : float -> unit
+  (** Wait for a duration. Only for Byzantine/adversarial code. *)
+
+  val note : string -> unit
+  (** Free-form trace annotation. *)
+
+  val die : unit -> 'a
+  (** Stop executing this peer immediately (Byzantine strategies). *)
+
+  (** {2 Running executions} *)
+
+  val run : config -> (int -> 'r) -> 'r outcome
+  (** [run cfg proc] executes [proc i] as peer [i] for all [i < cfg.k] and
+      drives events to quiescence. Raises [Invalid_argument] on negative
+      latencies. Exceptions escaping a process (other than crash/halt
+      control flow) propagate to the caller. *)
+end

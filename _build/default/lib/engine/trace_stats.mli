@@ -1,0 +1,29 @@
+(** Aggregate views over execution traces.
+
+    Communication matrices answer "who talked to whom, and how much" — the
+    fastest way to see a protocol's structure (committee fan-out, the
+    termination flood, a lower-bound adversary starving one victim) or to
+    spot an imbalance bug. *)
+
+val message_matrix : Trace.t -> k:int -> int array array
+(** [m.(src).(dst)] = messages sent src → dst (from [Sent] events). *)
+
+val bits_matrix : Trace.t -> k:int -> int array array
+(** Same, in payload bits. *)
+
+val delivered_matrix : Trace.t -> k:int -> int array array
+(** Messages actually delivered (a crashed receiver drops the rest). *)
+
+val queries_per_peer : Trace.t -> k:int -> int array
+
+val busiest_link : int array array -> (int * int * int) option
+(** [(src, dst, weight)] of the heaviest entry, or [None] if all zero. *)
+
+val pp_matrix : ?label:string -> Format.formatter -> int array array -> unit
+(** Fixed-width rendering with row/column peer indices. *)
+
+val pp_lanes : ?max_events:int -> k:int -> Format.formatter -> Trace.t -> unit
+(** A time–space view: one column per peer, one row per event, so message
+    flow reads top to bottom ([>d] = send to d, [<s] = delivery from s,
+    [?i] = query, [X] = crash, [#] = termination). Intended for small
+    executions; rendering stops after [max_events] rows (default 200). *)

@@ -1,0 +1,1 @@
+lib/lowerbound/det_lower.ml: Dr_adversary Dr_core Dr_engine Dr_source Exec Fun List Problem

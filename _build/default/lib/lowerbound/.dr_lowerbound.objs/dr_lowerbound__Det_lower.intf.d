@@ -1,0 +1,1 @@
+lib/lowerbound/det_lower.mli: Dr_core

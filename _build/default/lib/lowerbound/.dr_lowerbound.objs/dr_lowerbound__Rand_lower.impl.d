@@ -1,0 +1,1 @@
+lib/lowerbound/rand_lower.ml: Dr_adversary Dr_core Dr_engine Dr_source Exec Fun Int64 List Problem

@@ -1,0 +1,1 @@
+lib/lowerbound/rand_lower.mli: Dr_core

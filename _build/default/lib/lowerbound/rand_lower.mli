@@ -1,0 +1,39 @@
+(** Theorem 3.2, measured: for β ≥ 1/2 even randomized protocols need
+    queries linear in the unqueried mass.
+
+    The mirror adversary of the proof, run over many seeds: corrupt
+    C = V∖F∖{v}, have them simulate an all-zeros source, delay the honest F
+    past the victim's horizon, and flip one hidden bit of the real input.
+    The victim survives only when its own random queries happen to touch the
+    hidden bit, so over the adversary's choice of bit
+
+        P[failure] ≥ 1 − q/n        (q = victim's per-run query count)
+
+    — the theorem's Cauchy–Schwarz bound in empirical form. The harness
+    measures the failure rate and reports it next to that prediction. *)
+
+type result = {
+  runs : int;
+  failures : int;  (** runs where the victim output the wrong array *)
+  failure_rate : float;
+  victim_hit_rate : float;  (** runs where the victim queried the hidden bit *)
+  q_mean : float;  (** victim's mean queries per run *)
+  predicted_failure_floor : float;  (** 1 − q_mean/n *)
+  n : int;
+}
+
+type runner = ?opts:Dr_core.Exec.opts -> Dr_core.Problem.instance -> Dr_core.Problem.report
+
+val attack :
+  run:runner ->
+  ?victim:int ->
+  ?f_count:int ->
+  ?hidden:[ `Uniform | `Fixed of int ] ->
+  k:int ->
+  n:int ->
+  seeds:int64 list ->
+  unit ->
+  result
+(** Runs one mirror execution per seed. [f_count] honest-but-slow peers
+    (default ⌊(k−1)/2⌋, which makes the corrupted set a majority-β coalition);
+    the hidden bit is drawn per-seed ([`Uniform] default). *)

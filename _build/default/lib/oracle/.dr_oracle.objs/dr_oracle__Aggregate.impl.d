@@ -1,0 +1,1 @@
+lib/oracle/aggregate.ml: Array List

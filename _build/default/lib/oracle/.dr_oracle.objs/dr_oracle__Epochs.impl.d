@@ -1,0 +1,1 @@
+lib/oracle/epochs.ml: Int64 List Odc Pipeline

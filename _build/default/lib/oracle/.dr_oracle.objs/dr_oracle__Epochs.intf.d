@@ -1,0 +1,1 @@
+lib/oracle/epochs.mli: Odc

@@ -1,0 +1,1 @@
+lib/oracle/feed.ml: Array Dr_engine Dr_source List

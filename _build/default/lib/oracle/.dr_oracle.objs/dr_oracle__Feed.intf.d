@@ -1,0 +1,1 @@
+lib/oracle/feed.mli: Dr_source

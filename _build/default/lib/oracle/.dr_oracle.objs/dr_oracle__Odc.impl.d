@@ -1,0 +1,1 @@
+lib/oracle/odc.ml: Aggregate Array Byz_2cycle Committee Dr_adversary Dr_core Dr_engine Dr_source Exec Feed Format Fun Int64 List Naive Pipeline Problem

@@ -1,0 +1,1 @@
+lib/oracle/odc.mli: Format Pipeline

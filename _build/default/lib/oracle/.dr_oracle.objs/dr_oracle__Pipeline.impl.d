@@ -1,0 +1,1 @@
+lib/oracle/pipeline.ml: Aggregate Array Dr_adversary Dr_engine Feed Hashtbl

@@ -1,0 +1,1 @@
+lib/oracle/pipeline.mli: Dr_adversary Feed

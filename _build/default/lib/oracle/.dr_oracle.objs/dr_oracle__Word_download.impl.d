@@ -1,0 +1,1 @@
+lib/oracle/word_download.ml: Array Dr_adversary Dr_core Dr_source Exec Problem

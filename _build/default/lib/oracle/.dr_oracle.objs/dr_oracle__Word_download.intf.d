@@ -1,0 +1,1 @@
+lib/oracle/word_download.mli: Dr_adversary Dr_core Dr_source

@@ -1,0 +1,15 @@
+let median values =
+  let m = Array.length values in
+  if m = 0 then invalid_arg "Aggregate.median: empty";
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  sorted.((m - 1) / 2)
+
+let cellwise_median reports =
+  match reports with
+  | [] -> invalid_arg "Aggregate.cellwise_median: no reports"
+  | first :: rest ->
+    let d = Array.length first in
+    if List.exists (fun r -> Array.length r <> d) rest then
+      invalid_arg "Aggregate.cellwise_median: ragged reports";
+    Array.init d (fun c -> median (Array.of_list (List.map (fun r -> r.(c)) reports)))

@@ -1,0 +1,11 @@
+(** Value aggregation for the oracle pipeline. *)
+
+val median : int array -> int
+(** Lower median of a non-empty array (does not modify its argument).
+    If more than half the inputs come from one honest cohort, the median
+    lies inside that cohort's range — the property both ODC constructions
+    lean on. *)
+
+val cellwise_median : int array list -> int array
+(** Median per cell over equal-length reports; raises on empty input or
+    ragged lengths. *)

@@ -1,0 +1,38 @@
+(** The publication step of the oracle flow, actually simulated.
+
+    The paper abstracts the oracle pipeline as (1) collect, (2) agree,
+    (3) publish, and only optimizes (1). This module runs a concrete
+    asynchronous version of (2)+(3) on the simulator: every oracle node
+    submits its report to an on-chain contract over the adversarial network;
+    Byzantine nodes submit out-of-range garbage (and can be scheduled to
+    arrive first); the contract, which cannot wait for everyone, accepts the
+    first k−t submissions and publishes their cell-wise median.
+
+    Asynchrony has a price here: among the first k−t submissions up to t can
+    be Byzantine, so the median is guaranteed inside the honest range only
+    when t < (k−t)/2, i.e. {b k > 3t} — stricter than the k > 2t that
+    suffices for synchronous medians. [validate] enforces it and the test
+    suite demonstrates the attack in the k ≤ 3t gap. *)
+
+type outcome = {
+  published : int array option;  (** [None] if the contract starved *)
+  odd_ok : bool;  (** published ⊆ honest range, every cell *)
+  submissions_used : int;
+  time : float;
+}
+
+val validate : k:int -> t:int -> (unit, string) result
+
+val publish :
+  ?seed:int64 ->
+  ?rushing:bool ->
+  feed:Feed.t ->
+  fault:Dr_adversary.Fault.t ->
+  honest_report:(int -> int array) ->
+  unit ->
+  outcome
+(** [publish ~feed ~fault ~honest_report ()] runs the submission round
+    (without checking [validate] — so the k ≤ 3t attack can be exhibited).
+    [rushing] (default [true]) delivers Byzantine submissions first — the
+    adversary's best schedule. The report arrays must all have
+    [Feed.cells feed] entries. *)

@@ -1,0 +1,1 @@
+lib/source/bitarray.ml: Array Bytes Char Dr_engine Format Stdlib String

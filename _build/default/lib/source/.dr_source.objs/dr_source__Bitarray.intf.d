@@ -1,0 +1,1 @@
+lib/source/bitarray.mli: Dr_engine Format

@@ -1,0 +1,1 @@
+lib/source/data_source.mli: Bitarray

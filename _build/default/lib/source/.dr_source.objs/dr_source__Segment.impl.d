@@ -1,0 +1,1 @@
+lib/source/segment.ml: Bitarray List

@@ -1,0 +1,1 @@
+lib/source/segment.mli: Bitarray

@@ -1,0 +1,111 @@
+type t = { len : int; data : Bytes.t }
+
+let bytes_for len = (len + 7) / 8
+
+let create len =
+  if len < 0 then invalid_arg "Bitarray.create";
+  { len; data = Bytes.make (bytes_for len) '\000' }
+
+let length t = t.len
+
+let check t i = if i < 0 || i >= t.len then invalid_arg "Bitarray: index out of bounds"
+
+let get t i =
+  check t i;
+  Char.code (Bytes.get t.data (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i b =
+  check t i;
+  let byte = Char.code (Bytes.get t.data (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  let byte = if b then byte lor mask else byte land lnot mask in
+  Bytes.set t.data (i lsr 3) (Char.chr byte)
+
+let copy t = { len = t.len; data = Bytes.copy t.data }
+let equal a b = a.len = b.len && Bytes.equal a.data b.data
+
+let compare a b =
+  let c = Stdlib.compare a.len b.len in
+  if c <> 0 then c else Bytes.compare a.data b.data
+
+let random prng len =
+  let t = create len in
+  for i = 0 to len - 1 do
+    set t i (Dr_engine.Prng.bool prng)
+  done;
+  t
+
+let init len f =
+  let t = create len in
+  for i = 0 to len - 1 do
+    if f i then set t i true
+  done;
+  t
+
+let of_string s =
+  init (String.length s) (fun i ->
+      match s.[i] with
+      | '0' -> false
+      | '1' -> true
+      | _ -> invalid_arg "Bitarray.of_string: expected only '0'/'1'")
+
+let to_string t = String.init t.len (fun i -> if get t i then '1' else '0')
+
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then invalid_arg "Bitarray.sub";
+  init len (fun i -> get t (pos + i))
+
+let blit ~src ~dst ~pos =
+  if pos < 0 || pos + src.len > dst.len then invalid_arg "Bitarray.blit";
+  for i = 0 to src.len - 1 do
+    set dst (pos + i) (get src i)
+  done
+
+let append a b =
+  let t = create (a.len + b.len) in
+  blit ~src:a ~dst:t ~pos:0;
+  blit ~src:b ~dst:t ~pos:a.len;
+  t
+
+let first_diff a b =
+  if a.len <> b.len then invalid_arg "Bitarray.first_diff: length mismatch";
+  let rec byte_scan i =
+    if i >= Bytes.length a.data then None
+    else if Bytes.get a.data i <> Bytes.get b.data i then begin
+      let rec bit_scan j =
+        if j >= a.len then None else if get a j <> get b j then Some j else bit_scan (j + 1)
+      in
+      bit_scan (i * 8)
+    end
+    else byte_scan (i + 1)
+  in
+  byte_scan 0
+
+let popcount_byte = Array.init 256 (fun b ->
+    let rec go b acc = if b = 0 then acc else go (b lsr 1) (acc + (b land 1)) in
+    go b 0)
+
+let count_ones t =
+  let acc = ref 0 in
+  for i = 0 to Bytes.length t.data - 1 do
+    acc := !acc + popcount_byte.(Char.code (Bytes.get t.data i))
+  done;
+  !acc
+
+let diff_count a b =
+  if a.len <> b.len then invalid_arg "Bitarray.diff_count: length mismatch";
+  let acc = ref 0 in
+  for i = 0 to Bytes.length a.data - 1 do
+    let x = Char.code (Bytes.get a.data i) lxor Char.code (Bytes.get b.data i) in
+    acc := !acc + popcount_byte.(x)
+  done;
+  !acc
+
+let flip t i =
+  let t' = copy t in
+  set t' i (not (get t' i));
+  t'
+
+let pp ppf t =
+  if t.len <= 64 then Format.pp_print_string ppf (to_string t)
+  else Format.fprintf ppf "%s… (%d bits)" (to_string (sub t ~pos:0 ~len:64)) t.len

@@ -1,0 +1,51 @@
+(** Packed bit arrays.
+
+    The input array [X] of the DR model, the peers' output arrays, and the
+    bit strings exchanged for segments are all values of this type. Unused
+    padding bits are kept at zero, so structural equality and hashing work on
+    the content. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an all-zeros array of [n] bits. *)
+
+val length : t -> int
+val get : t -> int -> bool
+val set : t -> int -> bool -> unit
+
+val copy : t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val random : Dr_engine.Prng.t -> int -> t
+(** Uniform random array of the given length. *)
+
+val of_string : string -> t
+(** From a ['0']/['1'] string. Raises [Invalid_argument] on other chars. *)
+
+val to_string : t -> string
+
+val init : int -> (int -> bool) -> t
+
+val sub : t -> pos:int -> len:int -> t
+(** Extract a contiguous slice (the paper's segment string [X[j]]). *)
+
+val blit : src:t -> dst:t -> pos:int -> unit
+(** Write [src] into [dst] starting at bit [pos]. *)
+
+val append : t -> t -> t
+
+val first_diff : t -> t -> int option
+(** First index where the two arrays differ (the decision tree's "separating
+    index"), or [None] if equal. Arrays must have equal length. *)
+
+val count_ones : t -> int
+
+val diff_count : t -> t -> int
+(** Hamming distance; arrays must have equal length. *)
+
+val flip : t -> int -> t
+(** Copy with one bit flipped (used by lower-bound adversaries). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+type spec = { n : int; s : int }
+
+let make ~n ~s =
+  if s < 1 || s > n then invalid_arg "Segment.make: need 1 <= s <= n";
+  { n; s }
+
+(* Boundary formula: segment j spans [j*n/s, (j+1)*n/s). Using the floor of
+   the exact rational keeps lengths within one of each other, and makes any
+   spec whose count divides [s] an exact coarsening (boundaries align). *)
+let start { n; s } j =
+  if j < 0 || j > s then invalid_arg "Segment.start";
+  j * n / s
+
+let bounds spec j =
+  let lo = start spec j in
+  (lo, start spec (j + 1) - lo)
+
+let len spec j = snd (bounds spec j)
+let max_len { n; s } = (n + s - 1) / s
+
+let of_bit spec i =
+  if i < 0 || i >= spec.n then invalid_arg "Segment.of_bit";
+  (* Initial guess from the inverse rational, then fix up floor effects. *)
+  let j = ref (i * spec.s / spec.n) in
+  while start spec (!j + 1) <= i do
+    incr j
+  done;
+  while start spec !j > i do
+    decr j
+  done;
+  !j
+
+let halve spec =
+  if spec.s = 1 then invalid_arg "Segment.halve: already a single segment";
+  if spec.s mod 2 <> 0 then invalid_arg "Segment.halve: segment count must be even";
+  { spec with s = spec.s / 2 }
+
+let children ~coarse ~fine j =
+  if coarse.n <> fine.n || fine.s mod coarse.s <> 0 then
+    invalid_arg "Segment.children: fine must refine coarse";
+  let ratio = fine.s / coarse.s in
+  List.init ratio (fun i -> (j * ratio) + i)
+
+let extract spec x j =
+  if Bitarray.length x <> spec.n then invalid_arg "Segment.extract: length mismatch";
+  let pos, len = bounds spec j in
+  Bitarray.sub x ~pos ~len

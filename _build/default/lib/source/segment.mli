@@ -1,0 +1,37 @@
+(** Segment arithmetic for the randomized protocols.
+
+    The input array of [n] bits is partitioned into [s] contiguous segments
+    of near-equal length (lengths differ by at most one). Segment IDs range
+    over [0 .. s-1]. *)
+
+type spec = { n : int; s : int }
+
+val make : n:int -> s:int -> spec
+(** Raises [Invalid_argument] unless [1 <= s <= n]. *)
+
+val start : spec -> int -> int
+(** First bit index of a segment. *)
+
+val len : spec -> int -> int
+(** Number of bits in a segment (⌈n/s⌉ or ⌊n/s⌋). *)
+
+val bounds : spec -> int -> int * int
+(** [(start, len)]. *)
+
+val max_len : spec -> int
+
+val of_bit : spec -> int -> int
+(** Segment containing a bit index. *)
+
+val halve : spec -> spec
+(** The next cycle of the multi-cycle protocol: half as many segments, each
+    the concatenation of two consecutive segments of the current spec
+    (rounding up when [s] is odd). *)
+
+val children : coarse:spec -> fine:spec -> int -> int list
+(** The fine-spec segments whose union is the given coarse segment.
+    Requires that [fine] refines [coarse] (every coarse boundary is a fine
+    boundary), which holds along the [halve] chain. *)
+
+val extract : spec -> Bitarray.t -> int -> Bitarray.t
+(** The bit string of a segment of the given array. *)

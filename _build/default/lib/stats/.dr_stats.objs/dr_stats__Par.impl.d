@@ -1,0 +1,1 @@
+lib/stats/par.ml: Array Atomic Domain List

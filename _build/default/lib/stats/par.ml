@@ -1,0 +1,27 @@
+let map ?domains f xs =
+  let jobs = Array.of_list xs in
+  let n = Array.length jobs in
+  let workers =
+    let cores = try Domain.recommended_domain_count () with _ -> 1 in
+    min (match domains with Some d -> max 1 d | None -> min cores 8) n
+  in
+  if n <= 1 || workers <= 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f jobs.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.to_list
+      (Array.map (function Some v -> v | None -> failwith "Par.map: missing result") results)
+  end

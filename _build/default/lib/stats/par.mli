@@ -1,0 +1,12 @@
+(** Domain-parallel map for embarrassingly parallel experiment sweeps.
+
+    Monte-Carlo sections of the bench run hundreds of independent,
+    deterministic simulations; this fans them out over OCaml 5 domains.
+    Each job must be self-contained (build its own instance and PRNGs from
+    its input) — results are returned in input order, so determinism is
+    preserved regardless of scheduling. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] with up to [domains] worker domains (default: the available
+    cores, capped at 8). Falls back to sequential [List.map] for tiny
+    inputs. Exceptions in workers are re-raised in the caller. *)

@@ -1,0 +1,52 @@
+type line = Row of string list | Rule
+
+type t = { headers : string list; mutable lines : line list (* reversed *) }
+
+let create headers = { headers; lines = [] }
+
+let add_row t cells =
+  let hc = List.length t.headers in
+  let cc = List.length cells in
+  if cc > hc then invalid_arg "Table.add_row: more cells than headers";
+  let cells = cells @ List.init (hc - cc) (fun _ -> "") in
+  t.lines <- Row cells :: t.lines
+
+let add_rule t = t.lines <- Rule :: t.lines
+
+let render t =
+  let rows = List.rev t.lines in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  List.iter
+    (function
+      | Row cells ->
+        List.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) cells
+      | Rule -> ())
+    rows;
+  let buf = Buffer.create 1024 in
+  let pad i s =
+    Buffer.add_string buf s;
+    Buffer.add_string buf (String.make (widths.(i) - String.length s) ' ')
+  in
+  let emit_row cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        pad i c)
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let rule () =
+    let total = Array.fold_left ( + ) 0 widths + (2 * (Array.length widths - 1)) in
+    Buffer.add_string buf (String.make total '-');
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.headers;
+  rule ();
+  List.iter (function Row cells -> emit_row cells | Rule -> rule ()) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_int = string_of_int
+let cell_float ?(decimals = 1) v = Printf.sprintf "%.*f" decimals v
+let cell_bool b = if b then "yes" else "no"

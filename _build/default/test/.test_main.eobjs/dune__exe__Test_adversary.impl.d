@@ -1,0 +1,1 @@
+test/test_adversary.ml: Alcotest Crash_plan Dr_adversary Dr_engine Fault Format Latency List

@@ -1,0 +1,1 @@
+test/test_byzantine.ml: Alcotest Byz_2cycle Byz_multicycle Committee Decision_tree Dr_adversary Dr_core Dr_engine Dr_source Exec Frequent List Printf Problem

@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Balanced Crash_single Dr_adversary Dr_core Dr_engine Dr_source Exec List Naive Printf Problem

@@ -1,0 +1,1 @@
+test/test_crash_general.ml: Alcotest Crash_general Dr_adversary Dr_core Dr_engine Dr_source Exec Int64 List Printf Problem

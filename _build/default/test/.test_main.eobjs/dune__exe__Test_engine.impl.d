@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Dr_engine Filename Format Fun Heap List Metrics Printf Prng Sim String Sys Trace Trace_stats

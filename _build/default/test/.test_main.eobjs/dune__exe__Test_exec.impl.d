@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Dr_adversary Dr_core Dr_engine Dr_source Exec List Problem

@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Array Balanced Crash_general Crash_single Dr_adversary Dr_core Dr_engine Dr_source Exec Int64 Problem

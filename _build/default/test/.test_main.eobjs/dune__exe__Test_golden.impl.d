@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Balanced Byz_2cycle Byz_multicycle Committee Crash_general Crash_single Dr_adversary Dr_core Dr_engine Exec Naive Problem

@@ -1,0 +1,1 @@
+test/test_lemmas.ml: Alcotest Array Crash_general Dr_adversary Dr_core Dr_engine Exec Fun Hashtbl List Printf Problem

@@ -1,0 +1,1 @@
+test/test_lowerbound.ml: Alcotest Byz_2cycle Committee Dr_core Dr_lowerbound Int64 List Naive Printf Problem String

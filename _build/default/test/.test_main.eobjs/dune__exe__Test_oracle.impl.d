@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Array Committee Dr_core Dr_oracle Dr_source Exec List Printf Problem

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Committee Crash_general Dr_adversary Dr_core Dr_oracle Dr_source Exec Int64 List Problem

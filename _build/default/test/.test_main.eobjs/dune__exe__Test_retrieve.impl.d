@@ -1,0 +1,1 @@
+test/test_retrieve.ml: Alcotest Array Balanced Committee Crash_general Dr_adversary Dr_core Dr_engine Dr_source Exec Float Problem Retrieve

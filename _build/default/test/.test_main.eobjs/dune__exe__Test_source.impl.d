@@ -1,0 +1,1 @@
+test/test_source.ml: Alcotest Bitarray Data_source Dr_core Dr_engine Dr_source List Printf Segment

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Byz_2cycle Committee Crash_general Dr_adversary Dr_core Dr_engine Exec List Naive Printf Problem Select Spec String

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Chernoff Crash_general Dr_core Dr_engine Dr_stats Exec Format Fun Int64 List Par Printf Problem Select String Summary Table

@@ -1,0 +1,6 @@
+  $ dr_download -p crash-general -k 8 -n 512 -t 2 --crash silent
+  $ dr_download -p byz-committee --model byzantine -k 9 -n 512 -t 4 --attack collude
+  $ dr_download -p balanced -k 4 -n 64 -t 1 --crash silent 2> /dev/null
+  $ dr_sweep --vary beta --values 0,0.5 -k 8 -n 256 --seeds 1
+  $ dr_download -p balanced -k 4 -n 32 -t 0 --crash none --trace-out t.trace > /dev/null
+  $ dr_trace t.trace --summary

@@ -1,0 +1,33 @@
+The main CLI runs a protocol and reports the verdict with Q/T/M.
+
+  $ dr_download -p crash-general -k 8 -n 512 -t 2 --crash silent
+  crash-general    OK  Q=124 (mean 117.8) T=8.0 M=462 bits=101455 status=completed
+
+  $ dr_download -p byz-committee --model byzantine -k 9 -n 512 -t 4 --attack collude
+  byz-committee    OK  Q=512 (mean 512.0) T=0.0 M=40 bits=23040 status=completed
+
+A failed download exits non-zero:
+
+  $ dr_download -p balanced -k 4 -n 64 -t 1 --crash silent 2> /dev/null
+  balanced         FAIL Q=16 (mean 16.0) T=1.0 M=9 bits=720 status=deadlock[1,2,3] wrong=[1,2,3]
+  [124]
+
+Sweeps emit CSV:
+
+  $ dr_sweep --vary beta --values 0,0.5 -k 8 -n 256 --seeds 1
+  protocol,k,n,t,beta,B,seed,ok,q_max,q_mean,q_total,time,msgs,bits,max_msg
+  crash-general,8,256,0,0.0000,576,7932,true,32,32.0,256,1.62,168,52108,353
+  crash-general,8,256,4,0.5000,576,7932,true,83,69.5,278,11.95,492,63518,353
+
+Traces round-trip through files and the analyser:
+
+  $ dr_download -p balanced -k 4 -n 32 -t 0 --crash none --trace-out t.trace > /dev/null
+  $ dr_trace t.trace --summary
+  events:       60
+  peers:        4
+  sends:        12
+  deliveries:   12
+  queries:      32
+  crashes:      0
+  terminations: 4
+  time span:    [0.000, 1.000]

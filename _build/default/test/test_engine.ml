@@ -1,0 +1,669 @@
+(* Tests for the simulation substrate: PRNG, heap, and the effects-based
+   event loop. *)
+
+open Dr_engine
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.next64 a) (Prng.next64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1L and b = Prng.create 2L in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.next64 a <> Prng.next64 b then differs := true
+  done;
+  checkb "different seeds differ" true !differs
+
+let test_prng_int_bounds () =
+  let g = Prng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 17 in
+    checkb "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_int_one () =
+  let g = Prng.create 7L in
+  for _ = 1 to 10 do
+    checki "bound 1 is 0" 0 (Prng.int g 1)
+  done
+
+let test_prng_float_bounds () =
+  let g = Prng.create 3L in
+  for _ = 1 to 1000 do
+    let v = Prng.float g 2.5 in
+    checkb "in range" true (v >= 0. && v < 2.5)
+  done
+
+let test_prng_split_independent () =
+  let g = Prng.create 5L in
+  let a = Prng.split g in
+  let b = Prng.split g in
+  (* The two children produce different streams. *)
+  checkb "children differ" true (Prng.next64 a <> Prng.next64 b)
+
+let test_prng_split_deterministic () =
+  let mk () =
+    let g = Prng.create 9L in
+    let c = Prng.split g in
+    Prng.next64 c
+  in
+  check Alcotest.int64 "split reproducible" (mk ()) (mk ())
+
+let test_prng_int_roughly_uniform () =
+  let g = Prng.create 11L in
+  let buckets = Array.make 10 0 in
+  let rounds = 10_000 in
+  for _ = 1 to rounds do
+    let v = Prng.int g 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      checkb (Printf.sprintf "bucket %d near uniform (%d)" i c) true (c > 700 && c < 1300))
+    buckets
+
+let test_prng_bool_balance () =
+  let g = Prng.create 13L in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Prng.bool g then incr trues
+  done;
+  checkb "balanced" true (!trues > 4500 && !trues < 5500)
+
+let test_prng_shuffle_permutation () =
+  let g = Prng.create 17L in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "permutation" (Array.init 50 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  List.iter (fun t -> Heap.push h ~time:t (int_of_float (t *. 10.))) [ 3.0; 1.0; 2.0; 0.5; 2.5 ];
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (_, v) ->
+      order := v :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check Alcotest.(list int) "sorted by time" [ 5; 10; 20; 25; 30 ] (List.rev !order)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  for i = 0 to 99 do
+    Heap.push h ~time:1.0 i
+  done;
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (_, v) ->
+      out := v :: !out;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check Alcotest.(list int) "ties in insertion order" (List.init 100 Fun.id) (List.rev !out)
+
+let test_heap_interleaved () =
+  let h = Heap.create () in
+  Heap.push h ~time:5. "e";
+  Heap.push h ~time:1. "a";
+  checkb "not empty" false (Heap.is_empty h);
+  checki "size 2" 2 (Heap.size h);
+  (match Heap.pop h with
+  | Some (t, v) ->
+    check Alcotest.(float 0.0) "first time" 1. t;
+    check Alcotest.string "first value" "a" v
+  | None -> Alcotest.fail "unexpected empty");
+  Heap.push h ~time:0.5 "z";
+  (match Heap.pop h with
+  | Some (_, v) -> check Alcotest.string "reordered" "z" v
+  | None -> Alcotest.fail "unexpected empty");
+  (match Heap.peek_time h with
+  | Some t -> check Alcotest.(float 0.0) "peek" 5. t
+  | None -> Alcotest.fail "peek empty")
+
+let test_heap_clear () =
+  let h = Heap.create () in
+  Heap.push h ~time:1. 1;
+  Heap.clear h;
+  checkb "empty after clear" true (Heap.is_empty h);
+  checkb "pop none" true (Heap.pop h = None)
+
+let test_heap_random_order_matches_sort () =
+  let g = Prng.create 23L in
+  let h = Heap.create () in
+  let times = Array.init 500 (fun _ -> Prng.float g 100.) in
+  Array.iter (fun t -> Heap.push h ~time:t t) times;
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (_, v) ->
+      out := v :: !out;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  let sorted = Array.copy times in
+  Array.sort compare sorted;
+  check Alcotest.(list (float 0.0)) "heap sorts" (Array.to_list sorted) (List.rev !out)
+
+(* ------------------------------------------------------------------ *)
+(* Sim                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Smsg = struct
+  type t = Ping of int | Value of bool
+
+  let size_bits = function Ping _ -> 32 | Value _ -> 1
+  let tag = function Ping i -> Printf.sprintf "ping(%d)" i | Value b -> Printf.sprintf "val(%b)" b
+end
+
+module S = Sim.Make (Smsg)
+
+let input_bits = [| true; false; true; true |]
+let query_bit ~peer:_ i = input_bits.(i)
+
+let test_sim_pingpong () =
+  (* Peer 0 sends its id to peer 1, which replies with it doubled. *)
+  let cfg = Sim.default_config ~k:2 ~query_bit in
+  let outcome =
+    S.run cfg (fun i ->
+        if i = 0 then begin
+          S.send 1 (Smsg.Ping 21);
+          match S.receive () with
+          | _, Smsg.Ping v -> v
+          | _ -> -1
+        end
+        else begin
+          match S.receive () with
+          | src, Smsg.Ping v ->
+            S.send src (Smsg.Ping (v * 2));
+            v
+          | _ -> -1
+        end)
+  in
+  checkb "completed" true (outcome.Sim.status = Sim.Completed);
+  (match outcome.Sim.outputs.(0) with
+  | Some (t, v) ->
+    checki "reply doubled" 42 v;
+    check Alcotest.(float 0.001) "two hops" 2.0 t
+  | None -> Alcotest.fail "peer 0 has no output");
+  match outcome.Sim.outputs.(1) with
+  | Some (_, v) -> checki "peer1 saw 21" 21 v
+  | None -> Alcotest.fail "peer 1 has no output"
+
+let test_sim_query () =
+  let cfg = Sim.default_config ~k:1 ~query_bit in
+  let outcome = S.run cfg (fun _ -> List.init 4 S.query) in
+  match outcome.Sim.outputs.(0) with
+  | Some (_, vs) -> check Alcotest.(list bool) "queried input" [ true; false; true; true ] vs
+  | None -> Alcotest.fail "no output"
+
+let test_sim_query_metrics () =
+  let cfg = Sim.default_config ~k:3 ~query_bit in
+  let outcome =
+    S.run cfg (fun i ->
+        for _ = 1 to i + 1 do
+          ignore (S.query 0)
+        done;
+        i)
+  in
+  for i = 0 to 2 do
+    checki "query count" (i + 1) (Metrics.peer outcome.Sim.metrics i).Metrics.queries
+  done
+
+let test_sim_crash_at_time () =
+  (* Peer 1 crashes at t=0.5; its pending send is still delivered but it
+     never answers. Peer 0 blocks forever -> deadlock detected. *)
+  let cfg =
+    {
+      (Sim.default_config ~k:2 ~query_bit) with
+      crash = (fun i -> if i = 1 then Sim.At_time 0.5 else Sim.Never);
+    }
+  in
+  let outcome =
+    S.run cfg (fun i ->
+        if i = 0 then begin
+          S.send 1 (Smsg.Ping 1);
+          let _ = S.receive () in
+          0
+        end
+        else begin
+          let _ = S.receive () in
+          S.send 0 (Smsg.Ping 2);
+          1
+        end)
+  in
+  checkb "deadlock" true (outcome.Sim.status = Sim.Deadlock [ 0 ]);
+  checkb "crashed peer has no output" true (outcome.Sim.outputs.(1) = None)
+
+let test_sim_after_sends_partial_broadcast () =
+  (* Peer 0 broadcasts to 4 others but dies after 2 sends. *)
+  let k = 5 in
+  let cfg =
+    {
+      (Sim.default_config ~k ~query_bit) with
+      crash = (fun i -> if i = 0 then Sim.After_sends 2 else Sim.Never);
+    }
+  in
+  let outcome =
+    S.run cfg (fun i ->
+        if i = 0 then begin
+          S.broadcast (Smsg.Ping 9);
+          0
+        end
+        else begin
+          match S.receive () with
+          | _, Smsg.Ping v -> v
+          | _ -> -1
+        end)
+  in
+  (* Peers 1 and 2 got the message; 3 and 4 blocked. *)
+  checkb "sender no output" true (outcome.Sim.outputs.(0) = None);
+  checkb "peer1 got it" true (outcome.Sim.outputs.(1) = Some (1.0, 9));
+  checkb "peer2 got it" true (outcome.Sim.outputs.(2) = Some (1.0, 9));
+  checkb "peer3 blocked" true (outcome.Sim.outputs.(3) = None);
+  (match outcome.Sim.status with
+  | Sim.Deadlock l -> check Alcotest.(list int) "blocked peers" [ 3; 4 ] l
+  | _ -> Alcotest.fail "expected deadlock");
+  checki "exactly 2 sends counted" 2 (Metrics.peer outcome.Sim.metrics 0).Metrics.msgs_sent
+
+let test_sim_after_sends_zero_is_silent () =
+  let cfg =
+    {
+      (Sim.default_config ~k:2 ~query_bit) with
+      crash = (fun i -> if i = 0 then Sim.After_sends 0 else Sim.Never);
+    }
+  in
+  let outcome =
+    S.run cfg (fun i ->
+        if i = 0 then begin
+          S.send 1 (Smsg.Ping 1);
+          0
+        end
+        else 1)
+  in
+  checki "no sends" 0 (Metrics.peer outcome.Sim.metrics 0).Metrics.msgs_sent;
+  checkb "receiver unaffected" true (outcome.Sim.outputs.(1) <> None)
+
+let test_sim_latency_order () =
+  (* Messages with different latencies arrive in latency order, not send
+     order: the core of asynchrony. *)
+  let cfg =
+    {
+      (Sim.default_config ~k:3 ~query_bit) with
+      latency =
+        (fun ~src ~dst:_ ~time:_ ~size_bits:_ -> if src = 1 then 5.0 else 1.0);
+    }
+  in
+  let outcome =
+    S.run cfg (fun i ->
+        match i with
+        | 0 ->
+          let s1, _ = S.receive () in
+          let s2, _ = S.receive () in
+          (s1 * 10) + s2
+        | _ ->
+          S.send 0 (Smsg.Ping i);
+          i)
+  in
+  match outcome.Sim.outputs.(0) with
+  | Some (t, v) ->
+    checki "slow sender second" 21 v;
+    check Alcotest.(float 0.001) "ends at slow latency" 5.0 t
+  | None -> Alcotest.fail "no output"
+
+let test_sim_mailbox_buffers () =
+  (* Messages delivered while the peer computes are queued, not lost. *)
+  let cfg = Sim.default_config ~k:3 ~query_bit in
+  let outcome =
+    S.run cfg (fun i ->
+        if i = 0 then begin
+          (* Sleep past both deliveries, then read them from the mailbox. *)
+          S.sleep 10.;
+          let a = S.receive () in
+          let b = S.receive () in
+          fst a + fst b
+        end
+        else begin
+          S.send 0 (Smsg.Ping i);
+          0
+        end)
+  in
+  match outcome.Sim.outputs.(0) with
+  | Some (_, v) -> checki "both buffered" 3 v
+  | None -> Alcotest.fail "no output"
+
+let test_sim_start_times () =
+  let cfg =
+    { (Sim.default_config ~k:2 ~query_bit) with start_time = (fun i -> float_of_int i *. 7.) }
+  in
+  let outcome = S.run cfg (fun _ -> S.now ()) in
+  checkb "peer 0 starts at 0" true (outcome.Sim.outputs.(0) = Some (0., 0.));
+  checkb "peer 1 starts at 7" true (outcome.Sim.outputs.(1) = Some (7., 7.))
+
+let test_sim_deterministic_replay () =
+  (* Two runs with the same seed produce identical outputs and timings. *)
+  let run () =
+    let cfg =
+      { (Sim.default_config ~k:4 ~query_bit) with seed = 99L }
+    in
+    let outcome =
+      S.run cfg (fun _i ->
+          let g = S.rng () in
+          let v = Prng.int g 1000 in
+          S.broadcast (Smsg.Ping v);
+          let acc = ref v in
+          for _ = 1 to 3 do
+            match S.receive () with
+            | _, Smsg.Ping w -> acc := !acc + w
+            | _ -> ()
+          done;
+          !acc)
+    in
+    Array.map (function Some (_, v) -> v | None -> -1) outcome.Sim.outputs
+  in
+  check Alcotest.(array int) "replay identical" (run ()) (run ())
+
+let test_sim_rng_isolated_from_schedule () =
+  (* A peer's random stream does not depend on what others do. *)
+  let draw k =
+    let cfg = { (Sim.default_config ~k ~query_bit) with seed = 5L } in
+    let outcome =
+      S.run cfg (fun i -> if i = 0 then Prng.int (S.rng ()) 1_000_000 else -1)
+    in
+    match outcome.Sim.outputs.(0) with Some (_, v) -> v | None -> -1
+  in
+  checki "same first draw regardless of k" (draw 2) (draw 2);
+  (* Note: with different k the master split sequence differs only for later
+     peers; peer 0's stream is the first split either way. *)
+  checki "k-independent" (draw 2) (draw 5)
+
+let test_sim_trace_records () =
+  let trace = Trace.create () in
+  let cfg = { (Sim.default_config ~k:2 ~query_bit) with trace = Some trace } in
+  let _ =
+    S.run cfg (fun i ->
+        if i = 0 then begin
+          ignore (S.query 2);
+          S.send 1 (Smsg.Ping 3);
+          0
+        end
+        else begin
+          let _ = S.receive () in
+          1
+        end)
+  in
+  let evs = Trace.events trace in
+  let has p = List.exists p evs in
+  checkb "has query" true
+    (has (function Trace.Queried { peer = 0; index = 2; value = true; _ } -> true | _ -> false));
+  checkb "has send" true
+    (has (function Trace.Sent { src = 0; dst = 1; _ } -> true | _ -> false));
+  checkb "has delivery" true
+    (has (function Trace.Delivered { src = 0; dst = 1; _ } -> true | _ -> false));
+  checkb "has terminations" true
+    (has (function Trace.Terminated { peer = 1; _ } -> true | _ -> false));
+  checki "query view" 1 (List.length (Trace.query_view trace 0))
+
+let test_sim_query_latency () =
+  let cfg =
+    {
+      (Sim.default_config ~k:1 ~query_bit) with
+      query_latency = (fun ~peer:_ ~time:_ -> 0.25);
+    }
+  in
+  let outcome =
+    S.run cfg (fun _ ->
+        ignore (S.query 0);
+        ignore (S.query 1);
+        S.now ())
+  in
+  match outcome.Sim.outputs.(0) with
+  | Some (_, t) -> check Alcotest.(float 0.001) "two query round-trips" 0.5 t
+  | None -> Alcotest.fail "no output"
+
+let test_sim_die () =
+  let cfg = Sim.default_config ~k:2 ~query_bit in
+  let outcome = S.run cfg (fun i -> if i = 0 then S.die () else 1) in
+  checkb "dead peer no output" true (outcome.Sim.outputs.(0) = None);
+  checkb "other completes" true (outcome.Sim.outputs.(1) <> None);
+  checkb "overall completed (dier is not blocked)" true (outcome.Sim.status = Sim.Completed)
+
+let test_sim_event_limit () =
+  let cfg = { (Sim.default_config ~k:2 ~query_bit) with max_events = 50 } in
+  let outcome =
+    S.run cfg (fun i ->
+        (* Infinite ping-pong. *)
+        let other = 1 - i in
+        if i = 0 then S.send other (Smsg.Ping 0);
+        let rec loop () =
+          let _ = S.receive () in
+          S.send other (Smsg.Ping 0);
+          loop ()
+        in
+        loop ())
+  in
+  checkb "limit reached" true (outcome.Sim.status = Sim.Event_limit_reached)
+
+let test_sim_send_to_self () =
+  let cfg = Sim.default_config ~k:2 ~query_bit in
+  let outcome =
+    S.run cfg (fun i ->
+        if i = 0 then begin
+          S.send 0 (Smsg.Ping 5);
+          match S.receive () with
+          | src, Smsg.Ping v -> (src * 100) + v
+          | _ -> -1
+        end
+        else 0)
+  in
+  checkb "self-send delivered" true (outcome.Sim.outputs.(0) = Some (1.0, 5))
+
+let test_sim_send_bad_destination () =
+  let cfg = Sim.default_config ~k:2 ~query_bit in
+  Alcotest.check_raises "bad dst" (Invalid_argument "Sim.send: bad destination") (fun () ->
+      ignore (S.run cfg (fun i -> if i = 0 then S.send 7 (Smsg.Ping 1) else ())))
+
+let test_sim_negative_latency_rejected () =
+  let cfg =
+    {
+      (Sim.default_config ~k:2 ~query_bit) with
+      latency = (fun ~src:_ ~dst:_ ~time:_ ~size_bits:_ -> -1.);
+    }
+  in
+  Alcotest.check_raises "negative latency" (Invalid_argument "Sim.run: negative latency")
+    (fun () -> ignore (S.run cfg (fun i -> if i = 0 then S.send 1 (Smsg.Ping 1) else ())))
+
+let test_sim_crash_during_query_wait () =
+  (* A peer blocked on a slow source query is killed cleanly by an At_time
+     crash. *)
+  let cfg =
+    {
+      (Sim.default_config ~k:2 ~query_bit) with
+      query_latency = (fun ~peer:_ ~time:_ -> 10.);
+      crash = (fun i -> if i = 0 then Sim.At_time 5. else Sim.Never);
+    }
+  in
+  let outcome = S.run cfg (fun i -> if i = 0 then (ignore (S.query 0); 1) else 2) in
+  checkb "victim has no output" true (outcome.Sim.outputs.(0) = None);
+  checkb "other peer unaffected" true (outcome.Sim.outputs.(1) = Some (0., 2));
+  checkb "completed (victim is dead, not blocked)" true (outcome.Sim.status = Sim.Completed)
+
+let test_sim_crash_before_start () =
+  (* Crash scheduled before the peer's (delayed) start: it never runs. *)
+  let cfg =
+    {
+      (Sim.default_config ~k:2 ~query_bit) with
+      start_time = (fun i -> if i = 0 then 5. else 0.);
+      crash = (fun i -> if i = 0 then Sim.At_time 1. else Sim.Never);
+    }
+  in
+  let outcome = S.run cfg (fun i -> i) in
+  checkb "never started" true (outcome.Sim.outputs.(0) = None);
+  checki "no queries, no sends" 0 (Metrics.peer outcome.Sim.metrics 0).Metrics.msgs_sent
+
+let test_sim_after_queries_crash () =
+  let cfg =
+    {
+      (Sim.default_config ~k:1 ~query_bit) with
+      crash = (fun _ -> Sim.After_queries 2);
+    }
+  in
+  let outcome =
+    S.run cfg (fun _ ->
+        ignore (S.query 0);
+        ignore (S.query 1);
+        ignore (S.query 2);
+        0)
+  in
+  checkb "died at the second query" true (outcome.Sim.outputs.(0) = None);
+  checki "exactly 2 queries counted" 2 (Metrics.peer outcome.Sim.metrics 0).Metrics.queries
+
+let test_trace_stats_matrices () =
+  let trace = Trace.create () in
+  let cfg = { (Sim.default_config ~k:3 ~query_bit) with trace = Some trace } in
+  let _ =
+    S.run cfg (fun i ->
+        if i = 0 then begin
+          S.send 1 (Smsg.Ping 1);
+          S.send 1 (Smsg.Ping 2);
+          S.send 2 (Smsg.Value true);
+          0
+        end
+        else begin
+          ignore (S.query 0);
+          let _ = S.receive () in
+          if i = 1 then ignore (S.receive ());
+          i
+        end)
+  in
+  let m = Trace_stats.message_matrix trace ~k:3 in
+  checki "0->1 twice" 2 m.(0).(1);
+  checki "0->2 once" 1 m.(0).(2);
+  checki "no reverse" 0 m.(1).(0);
+  let b = Trace_stats.bits_matrix trace ~k:3 in
+  checki "bits 0->1" 64 b.(0).(1);
+  checki "bits 0->2" 1 b.(0).(2);
+  let d = Trace_stats.delivered_matrix trace ~k:3 in
+  checki "deliveries match sends" 2 d.(0).(1);
+  let q = Trace_stats.queries_per_peer trace ~k:3 in
+  check Alcotest.(array int) "queries" [| 0; 1; 1 |] q;
+  (match Trace_stats.busiest_link m with
+  | Some (0, 1, 2) -> ()
+  | _ -> Alcotest.fail "busiest link wrong");
+  checkb "renders" true
+    (String.length (Format.asprintf "%a" (Trace_stats.pp_matrix ~label:"m") m) > 0)
+
+let test_trace_save_load_roundtrip () =
+  let trace = Trace.create () in
+  List.iter (Trace.record trace)
+    [
+      Trace.Sent { time = 0.; src = 0; dst = 1; size_bits = 72; tag = "share(0.1)" };
+      Trace.Delivered { time = 0.75; src = 0; dst = 1; tag = "share(0.1)" };
+      Trace.Queried { time = 1.; peer = 2; index = 17; value = true };
+      Trace.Queried { time = 1.; peer = 2; index = 18; value = false };
+      Trace.Crashed { time = 1.5; peer = 3 };
+      Trace.Terminated { time = 2.25; peer = 0 };
+      Trace.Deadlocked { time = 3.; blocked = [ 1; 2 ] };
+      Trace.Note { time = 3.5; peer = 1; text = "seg 1 candidates: 01|10" };
+    ];
+  let path = Filename.temp_file "dr_trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save trace path;
+      let back = Trace.load path in
+      checkb "same events" true (Trace.events back = Trace.events trace))
+
+let test_trace_load_rejects_garbage () =
+  let path = Filename.temp_file "dr_trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "sent nonsense\n";
+      close_out oc;
+      match Trace.load path with
+      | _ -> Alcotest.fail "expected failure"
+      | exception Failure _ -> ())
+
+let test_metrics_summary_selection () =
+  let m = Metrics.create 3 in
+  Metrics.on_query m 0;
+  Metrics.on_query m 0;
+  Metrics.on_query m 2;
+  Metrics.on_send m 1 ~size_bits:100;
+  Metrics.on_send m 1 ~size_bits:50;
+  let all = Metrics.summarize m in
+  checki "max over all" 2 all.Metrics.max_queries;
+  checki "msgs" 2 all.Metrics.total_msgs;
+  checki "bits" 150 all.Metrics.total_bits;
+  checki "max msg" 100 all.Metrics.max_msg_bits;
+  let only2 = Metrics.summarize ~select:(fun i -> i = 2) m in
+  checki "selected max" 1 only2.Metrics.max_queries;
+  checki "selected msgs" 0 only2.Metrics.total_msgs
+
+let suite =
+  [
+    ("prng deterministic", `Quick, test_prng_deterministic);
+    ("prng seed sensitivity", `Quick, test_prng_seed_sensitivity);
+    ("prng int bounds", `Quick, test_prng_int_bounds);
+    ("prng int bound=1", `Quick, test_prng_int_one);
+    ("prng float bounds", `Quick, test_prng_float_bounds);
+    ("prng split independent", `Quick, test_prng_split_independent);
+    ("prng split deterministic", `Quick, test_prng_split_deterministic);
+    ("prng roughly uniform", `Quick, test_prng_int_roughly_uniform);
+    ("prng bool balance", `Quick, test_prng_bool_balance);
+    ("prng shuffle is a permutation", `Quick, test_prng_shuffle_permutation);
+    ("heap ordering", `Quick, test_heap_ordering);
+    ("heap fifo on ties", `Quick, test_heap_fifo_ties);
+    ("heap interleaved ops", `Quick, test_heap_interleaved);
+    ("heap clear", `Quick, test_heap_clear);
+    ("heap matches sort", `Quick, test_heap_random_order_matches_sort);
+    ("sim ping-pong", `Quick, test_sim_pingpong);
+    ("sim query", `Quick, test_sim_query);
+    ("sim query metrics", `Quick, test_sim_query_metrics);
+    ("sim crash at time", `Quick, test_sim_crash_at_time);
+    ("sim partial broadcast crash", `Quick, test_sim_after_sends_partial_broadcast);
+    ("sim after_sends 0 silences", `Quick, test_sim_after_sends_zero_is_silent);
+    ("sim latency reorders", `Quick, test_sim_latency_order);
+    ("sim mailbox buffers", `Quick, test_sim_mailbox_buffers);
+    ("sim start times", `Quick, test_sim_start_times);
+    ("sim deterministic replay", `Quick, test_sim_deterministic_replay);
+    ("sim rng schedule-isolated", `Quick, test_sim_rng_isolated_from_schedule);
+    ("sim trace records", `Quick, test_sim_trace_records);
+    ("sim query latency", `Quick, test_sim_query_latency);
+    ("sim die", `Quick, test_sim_die);
+    ("sim event limit", `Quick, test_sim_event_limit);
+    ("sim send to self", `Quick, test_sim_send_to_self);
+    ("sim bad destination", `Quick, test_sim_send_bad_destination);
+    ("sim negative latency", `Quick, test_sim_negative_latency_rejected);
+    ("sim crash during query wait", `Quick, test_sim_crash_during_query_wait);
+    ("sim crash before start", `Quick, test_sim_crash_before_start);
+    ("sim after-queries crash", `Quick, test_sim_after_queries_crash);
+    ("trace stats matrices", `Quick, test_trace_stats_matrices);
+    ("trace save/load roundtrip", `Quick, test_trace_save_load_roundtrip);
+    ("trace load rejects garbage", `Quick, test_trace_load_rejects_garbage);
+    ("metrics summary selection", `Quick, test_metrics_summary_selection);
+  ]

@@ -1,0 +1,83 @@
+(* Golden regression values: every protocol on a fixed instance, fixed
+   schedule, fixed seeds. The simulator is fully deterministic, so any
+   change to these numbers means an intentional behaviour change (update
+   the table) or an accidental one (a bug). *)
+
+open Dr_core
+module Latency = Dr_adversary.Latency
+module Crash_plan = Dr_adversary.Crash_plan
+module Prng = Dr_engine.Prng
+module Fault = Dr_adversary.Fault
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+type golden = { ok : bool; q_max : int; msgs : int; bits : int; time : float }
+
+let expect label g (r : Problem.report) =
+  checkb (label ^ " ok") g.ok r.Problem.ok;
+  checki (label ^ " Q") g.q_max r.Problem.q_max;
+  checki (label ^ " M") g.msgs r.Problem.msgs;
+  checki (label ^ " bits") g.bits r.Problem.bits_sent;
+  Alcotest.(check (float 0.001)) (label ^ " T") g.time r.Problem.time
+
+let jopts inst =
+  Exec.default
+  |> Exec.with_latency (Latency.jittered (Prng.create 5L))
+  |> Exec.with_crash (Crash_plan.mid_broadcast inst.Problem.fault ~after_sends:2)
+
+let jitter_only () = Exec.with_latency (Latency.jittered (Prng.create 5L)) Exec.default
+
+let crash () = Problem.random_instance ~seed:1234L ~k:12 ~n:1200 ~t:4 ()
+
+let test_naive () =
+  expect "naive" { ok = true; q_max = 1200; msgs = 0; bits = 0; time = 0. } (Naive.run (crash ()))
+
+let test_balanced () =
+  let inst = { (crash ()) with Problem.fault = Fault.choose ~k:12 Fault.None_faulty } in
+  expect "balanced"
+    { ok = true; q_max = 100; msgs = 132; bits = 21648; time = 1.0 }
+    (Balanced.run inst)
+
+let test_crash_single () =
+  let inst = { (crash ()) with Problem.fault = Fault.choose ~k:12 (Fault.Explicit [ 7 ]) } in
+  expect "crash-single"
+    { ok = true; q_max = 100; msgs = 538; bits = 192132; time = 1.687 }
+    (Crash_single.run ~opts:(jopts inst) inst)
+
+let test_crash_general () =
+  let inst = crash () in
+  expect "crash-general"
+    { ok = true; q_max = 203; msgs = 1690; bits = 429918; time = 10.467 }
+    (Crash_general.run ~opts:(jopts inst) inst)
+
+let test_committee () =
+  let inst = Problem.random_instance ~seed:1234L ~model:Problem.Byzantine ~k:12 ~n:1200 ~t:4 () in
+  expect "byz-committee"
+    { ok = true; q_max = 1200; msgs = 132; bits = 87648; time = 0.764 }
+    (Committee.run_with ~opts:(jitter_only ()) ~attack:Committee.Equivocate inst)
+
+let byz_big () = Problem.random_instance ~seed:1234L ~model:Problem.Byzantine ~k:40 ~n:1200 ~t:6 ()
+
+let test_2cycle () =
+  expect "byz-2cycle"
+    { ok = true; q_max = 600; msgs = 1326; bits = 880464; time = 0.906 }
+    (Byz_2cycle.run_with ~opts:(jitter_only ()) ~attack:Byz_2cycle.Near_miss ~segments:2 ~rho:2
+       (byz_big ()))
+
+let test_multicycle () =
+  expect "byz-multicycle"
+    { ok = true; q_max = 600; msgs = 2652; bits = 2556528; time = 0.913 }
+    (Byz_multicycle.run_with ~opts:(jitter_only ()) ~attack:Byz_multicycle.Near_miss ~segments:2
+       (byz_big ()))
+
+let suite =
+  [
+    ("golden: naive", `Quick, test_naive);
+    ("golden: balanced", `Quick, test_balanced);
+    ("golden: crash-single", `Quick, test_crash_single);
+    ("golden: crash-general", `Quick, test_crash_general);
+    ("golden: byz-committee", `Quick, test_committee);
+    ("golden: byz-2cycle", `Quick, test_2cycle);
+    ("golden: byz-multicycle", `Quick, test_multicycle);
+  ]

@@ -1,0 +1,455 @@
+(* Property-based tests (QCheck): data-structure invariants and
+   whole-protocol correctness under randomized instances, adversaries and
+   schedules. *)
+
+open Dr_core
+module Bitarray = Dr_source.Bitarray
+module Segment = Dr_source.Segment
+module Fault = Dr_adversary.Fault
+module Latency = Dr_adversary.Latency
+module Crash_plan = Dr_adversary.Crash_plan
+module Prng = Dr_engine.Prng
+
+let bits_gen =
+  QCheck.Gen.(map (fun l -> List.map (fun b -> if b then '1' else '0') l |> List.to_seq |> String.of_seq)
+                (list_size (int_range 1 120) bool))
+
+let bits_arb = QCheck.make ~print:(fun s -> s) bits_gen
+
+(* ------------------------------------------------------------------ *)
+(* Bitarray                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let prop_bits_roundtrip =
+  QCheck.Test.make ~name:"bitarray: of_string/to_string roundtrip" ~count:200 bits_arb (fun s ->
+      Bitarray.to_string (Bitarray.of_string s) = s)
+
+let prop_bits_count_ones =
+  QCheck.Test.make ~name:"bitarray: count_ones matches string" ~count:200 bits_arb (fun s ->
+      Bitarray.count_ones (Bitarray.of_string s)
+      = String.fold_left (fun acc c -> if c = '1' then acc + 1 else acc) 0 s)
+
+let prop_bits_first_diff =
+  QCheck.Test.make ~name:"bitarray: first_diff matches naive scan" ~count:200
+    QCheck.(pair bits_arb (small_int))
+    (fun (s, flips) ->
+      let a = Bitarray.of_string s in
+      let b = ref (Bitarray.copy a) in
+      let len = String.length s in
+      for f = 0 to flips mod 4 do
+        b := Bitarray.flip !b ((f * 7) mod len)
+      done;
+      let naive =
+        let rec scan i =
+          if i >= len then None
+          else if Bitarray.get a i <> Bitarray.get !b i then Some i
+          else scan (i + 1)
+        in
+        scan 0
+      in
+      Bitarray.first_diff a !b = naive)
+
+let prop_bits_append_sub =
+  QCheck.Test.make ~name:"bitarray: sub inverts append" ~count:200
+    QCheck.(pair bits_arb bits_arb)
+    (fun (s1, s2) ->
+      let a = Bitarray.of_string s1 and b = Bitarray.of_string s2 in
+      let ab = Bitarray.append a b in
+      Bitarray.equal (Bitarray.sub ab ~pos:0 ~len:(Bitarray.length a)) a
+      && Bitarray.equal (Bitarray.sub ab ~pos:(Bitarray.length a) ~len:(Bitarray.length b)) b)
+
+let prop_bits_flip_involution =
+  QCheck.Test.make ~name:"bitarray: flip twice restores" ~count:200
+    QCheck.(pair bits_arb small_nat)
+    (fun (s, i) ->
+      let a = Bitarray.of_string s in
+      let i = i mod String.length s in
+      Bitarray.equal (Bitarray.flip (Bitarray.flip a i) i) a)
+
+(* ------------------------------------------------------------------ *)
+(* Segment                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let seg_params = QCheck.(pair (int_range 1 500) (int_range 1 64))
+
+let prop_segment_tiles =
+  QCheck.Test.make ~name:"segment: tiles [0,n) exactly" ~count:300 seg_params (fun (n, s) ->
+      QCheck.assume (s <= n);
+      let spec = Segment.make ~n ~s in
+      let covered = Array.make n 0 in
+      for j = 0 to s - 1 do
+        let pos, len = Segment.bounds spec j in
+        for i = pos to pos + len - 1 do
+          covered.(i) <- covered.(i) + 1
+        done
+      done;
+      Array.for_all (fun c -> c = 1) covered)
+
+let prop_segment_of_bit =
+  QCheck.Test.make ~name:"segment: of_bit is the inverse of bounds" ~count:300 seg_params
+    (fun (n, s) ->
+      QCheck.assume (s <= n);
+      let spec = Segment.make ~n ~s in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let j = Segment.of_bit spec i in
+        let pos, len = Segment.bounds spec j in
+        if not (i >= pos && i < pos + len) then ok := false
+      done;
+      !ok)
+
+let prop_segment_children_concat =
+  QCheck.Test.make ~name:"segment: children concatenate to parent" ~count:100
+    QCheck.(pair (int_range 4 400) (int_range 1 5))
+    (fun (n, logs) ->
+      let s = 1 lsl logs in
+      QCheck.assume (s <= n);
+      let fine = Segment.make ~n ~s in
+      let coarse = Segment.halve fine in
+      let x = Bitarray.random (Prng.create (Int64.of_int (n + s))) n in
+      let ok = ref true in
+      for j = 0 to coarse.Segment.s - 1 do
+        let parts =
+          List.map (Segment.extract fine x) (Segment.children ~coarse ~fine j)
+        in
+        let joined = List.fold_left Bitarray.append (Bitarray.create 0) parts in
+        if not (Bitarray.equal joined (Segment.extract coarse x j)) then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Wire                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let prop_wire_roundtrip =
+  QCheck.Test.make ~name:"wire: split/assemble roundtrip (any order)" ~count:200
+    QCheck.(triple bits_arb (int_range 1 40) (int_range 0 1000))
+    (fun (s, b, shuffle_seed) ->
+      let bits = Bitarray.of_string s in
+      let parts = Wire.split ~b bits in
+      let arr = Array.of_list parts in
+      Prng.shuffle (Prng.create (Int64.of_int shuffle_seed)) arr;
+      let asm = Wire.Assembly.create ~len:(Bitarray.length bits) ~b in
+      Array.iter (fun (part, payload) -> Wire.Assembly.add asm ~part payload) arr;
+      Wire.Assembly.complete asm && Bitarray.equal (Wire.Assembly.get asm) bits)
+
+(* ------------------------------------------------------------------ *)
+(* Decision trees                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let candidates_gen =
+  (* Between 1 and 12 strings of equal length 1..24, plus the index of the
+     "true" one. *)
+  QCheck.Gen.(
+    int_range 1 24 >>= fun len ->
+    int_range 1 12 >>= fun count ->
+    list_repeat count (list_repeat len bool) >>= fun strings ->
+    int_range 0 (count - 1) >>= fun truth_idx -> return (len, strings, truth_idx))
+
+let candidates_arb =
+  QCheck.make
+    ~print:(fun (len, strings, idx) ->
+      Printf.sprintf "len=%d idx=%d [%s]" len idx
+        (String.concat ";"
+           (List.map (fun l -> String.concat "" (List.map (fun b -> if b then "1" else "0") l)) strings)))
+    candidates_gen
+
+let prop_tree_recovers_truth =
+  QCheck.Test.make ~name:"tree: determine recovers the true candidate" ~count:300 candidates_arb
+    (fun (_len, strings, truth_idx) ->
+      let candidates = List.map (fun l -> Bitarray.init (List.length l) (List.nth l)) strings in
+      let truth = List.nth candidates truth_idx in
+      let tree = Decision_tree.build candidates in
+      let got, spent = Decision_tree.determine ~query:(Bitarray.get truth) ~offset:0 tree in
+      Bitarray.equal got truth
+      && spent <= List.length (List.sort_uniq Bitarray.compare candidates) - 1)
+
+let prop_tree_node_count =
+  QCheck.Test.make ~name:"tree: internal nodes = distinct - 1" ~count:300 candidates_arb
+    (fun (_len, strings, _idx) ->
+      let candidates = List.map (fun l -> Bitarray.init (List.length l) (List.nth l)) strings in
+      let distinct = List.length (List.sort_uniq Bitarray.compare candidates) in
+      Decision_tree.internal_nodes (Decision_tree.build candidates) = distinct - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-protocol properties                                           *)
+(* ------------------------------------------------------------------ *)
+
+let crash_instance_gen =
+  QCheck.Gen.(
+    int_range 2 9 >>= fun k ->
+    int_range 0 (k - 1) >>= fun t ->
+    int_range (max 1 k) 80 >>= fun n ->
+    int_range 0 5 >>= fun after_sends ->
+    int_range 1 10_000 >>= fun seed -> return (k, t, n, after_sends, seed))
+
+let crash_instance_arb =
+  QCheck.make
+    ~print:(fun (k, t, n, a, seed) -> Printf.sprintf "k=%d t=%d n=%d after=%d seed=%d" k t n a seed)
+    crash_instance_gen
+
+let prop_crash_general_always_correct =
+  QCheck.Test.make ~name:"crash-general: correct on random instances" ~count:60 crash_instance_arb
+    (fun (k, t, n, after_sends, seed) ->
+      let seed = Int64.of_int seed in
+      let inst = Problem.random_instance ~seed ~k ~n ~t () in
+      let opts =
+        Exec.default
+        |> Exec.with_latency (Latency.jittered (Prng.create seed))
+        |> Exec.with_crash (Crash_plan.mid_broadcast inst.Problem.fault ~after_sends)
+      in
+      (Crash_general.run ~opts inst).Problem.ok)
+
+let prop_crash_general_q_bound =
+  QCheck.Test.make ~name:"crash-general: Q <= n/(gamma k) + n/k + slack" ~count:40
+    crash_instance_arb (fun (k, t, n, after_sends, seed) ->
+      let seed = Int64.of_int seed in
+      let inst = Problem.random_instance ~seed ~k ~n ~t () in
+      let opts =
+        Exec.with_crash (Crash_plan.mid_broadcast inst.Problem.fault ~after_sends) Exec.default
+      in
+      let r = Crash_general.run ~opts inst in
+      let gamma = float_of_int (k - t) /. float_of_int k in
+      let bound =
+        int_of_float (float_of_int n /. (gamma *. float_of_int k)) + (n / k) + (2 * k) + 2
+      in
+      r.Problem.ok && r.Problem.q_max <= bound)
+
+let committee_instance_gen =
+  QCheck.Gen.(
+    int_range 0 3 >>= fun t ->
+    int_range ((2 * t) + 1) 9 >>= fun k ->
+    int_range (max 1 k) 100 >>= fun n ->
+    int_range 0 3 >>= fun attack ->
+    int_range 1 10_000 >>= fun seed -> return (k, t, n, attack, seed))
+
+let committee_instance_arb =
+  QCheck.make
+    ~print:(fun (k, t, n, a, seed) -> Printf.sprintf "k=%d t=%d n=%d attack=%d seed=%d" k t n a seed)
+    committee_instance_gen
+
+let prop_committee_always_correct =
+  QCheck.Test.make ~name:"committee: correct under any catalog attack" ~count:60
+    committee_instance_arb (fun (k, t, n, attack, seed) ->
+      let seed = Int64.of_int seed in
+      let inst = Problem.random_instance ~seed ~model:Problem.Byzantine ~k ~n ~t () in
+      let attack =
+        match attack with
+        | 0 -> Committee.Honest_but_silent
+        | 1 -> Committee.Flip
+        | 2 -> Committee.Equivocate
+        | _ -> Committee.Collude
+      in
+      let opts = Exec.with_latency (Latency.jittered (Prng.create seed)) Exec.default in
+      (Committee.run_with ~opts ~attack inst).Problem.ok)
+
+let prop_balanced_correct =
+  QCheck.Test.make ~name:"balanced: correct on fault-free random instances" ~count:60
+    QCheck.(pair (int_range 1 12) (int_range 1 200))
+    (fun (k, n) ->
+      let inst = Problem.random_instance ~seed:(Int64.of_int (k + n)) ~k ~n ~t:0 () in
+      (Balanced.run inst).Problem.ok)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let prop_summary_bounds =
+  QCheck.Test.make ~name:"summary: median and mean within [min,max]" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (float_range (-1000.) 1000.))
+    (fun values ->
+      let s = Dr_stats.Summary.of_floats values in
+      s.Dr_stats.Summary.median >= s.Dr_stats.Summary.min
+      && s.Dr_stats.Summary.median <= s.Dr_stats.Summary.max
+      && s.Dr_stats.Summary.mean >= s.Dr_stats.Summary.min -. 1e-9
+      && s.Dr_stats.Summary.mean <= s.Dr_stats.Summary.max +. 1e-9)
+
+let prop_binomial_pmf_sums =
+  QCheck.Test.make ~name:"chernoff: binomial pmf sums to 1" ~count:50
+    QCheck.(pair (int_range 0 60) (float_range 0.01 0.99))
+    (fun (trials, p) ->
+      let total = ref 0. in
+      for i = 0 to trials do
+        total := !total +. Dr_stats.Chernoff.binomial_pmf ~trials ~p i
+      done;
+      abs_float (!total -. 1.) < 1e-6)
+
+let prop_coverage_monotone_in_rho =
+  QCheck.Test.make ~name:"chernoff: coverage failure monotone in rho" ~count:100
+    QCheck.(triple (int_range 1 100) (int_range 1 10) (int_range 1 10))
+    (fun (honest, segments, rho) ->
+      Dr_stats.Chernoff.coverage_failure ~honest ~segments ~rho
+      <= Dr_stats.Chernoff.coverage_failure ~honest ~segments ~rho:(rho + 1) +. 1e-12)
+
+
+let prop_crash_single_always_correct =
+  QCheck.Test.make ~name:"crash-single: correct on random instances" ~count:60
+    QCheck.(quad (int_range 2 10) (int_range 0 1) (int_range 2 100) (int_range 0 10_000))
+    (fun (k, t, n, seed) ->
+      QCheck.assume (n >= k);
+      let seed64 = Int64.of_int (seed + 1) in
+      let inst = Problem.random_instance ~seed:seed64 ~k ~n ~t () in
+      let after_sends = seed mod 5 in
+      let opts =
+        Exec.default
+        |> Exec.with_latency (Latency.jittered (Prng.create seed64))
+        |> Exec.with_crash (Crash_plan.mid_broadcast inst.Problem.fault ~after_sends)
+      in
+      (Crash_single.run ~opts inst).Problem.ok)
+
+(* Heterogeneous WAN: each ordered link gets its own constant delay, drawn
+   once. Deterministic protocols must not care. *)
+let heterogeneous_links seed =
+  let g = Prng.create seed in
+  let table = Hashtbl.create 64 in
+  fun ~src ~dst ~time:_ ~size_bits:_ ->
+    match Hashtbl.find_opt table (src, dst) with
+    | Some d -> d
+    | None ->
+      let d = 0.05 +. Prng.float g 0.95 in
+      Hashtbl.add table (src, dst) d;
+      d
+
+let prop_crash_general_heterogeneous_wan =
+  QCheck.Test.make ~name:"crash-general: correct on heterogeneous per-link delays" ~count:40
+    crash_instance_arb (fun (k, t, n, after_sends, seed) ->
+      let seed64 = Int64.of_int seed in
+      let inst = Problem.random_instance ~seed:seed64 ~k ~n ~t () in
+      let opts =
+        Exec.default
+        |> Exec.with_latency (heterogeneous_links seed64)
+        |> Exec.with_crash (Crash_plan.mid_broadcast inst.Problem.fault ~after_sends)
+      in
+      (Crash_general.run ~opts inst).Problem.ok)
+
+let prop_crash_general_link_serialized =
+  QCheck.Test.make ~name:"crash-general: correct with B-limited serialized links" ~count:30
+    crash_instance_arb (fun (k, t, n, after_sends, seed) ->
+      let seed64 = Int64.of_int seed in
+      let inst = Problem.random_instance ~seed:seed64 ~k ~n ~t () in
+      let opts =
+        Exec.default
+        |> Exec.with_link_rate (float_of_int inst.Problem.b)
+        |> Exec.with_crash (Crash_plan.mid_broadcast inst.Problem.fault ~after_sends)
+      in
+      (Crash_general.run ~opts inst).Problem.ok)
+
+(* The 2-cycle protocol on parameters where coverage is essentially certain
+   (rho = 1, many honest peers per segment): any catalog attack, any
+   schedule. *)
+let byz2_instance_gen =
+  QCheck.Gen.(
+    int_range 0 3 >>= fun t ->
+    int_range (max 16 ((4 * t) + 4)) 40 >>= fun k ->
+    int_range k 300 >>= fun n ->
+    int_range 0 4 >>= fun attack ->
+    int_range 1 10_000 >>= fun seed -> return (k, t, n, attack, seed))
+
+let byz2_instance_arb =
+  QCheck.make
+    ~print:(fun (k, t, n, a, s) -> Printf.sprintf "k=%d t=%d n=%d attack=%d seed=%d" k t n a s)
+    byz2_instance_gen
+
+let prop_byz_2cycle_safe_params =
+  QCheck.Test.make ~name:"byz-2cycle: correct under catalog attacks (safe parameters)" ~count:60
+    byz2_instance_arb (fun (k, t, n, attack, seed) ->
+      let seed64 = Int64.of_int seed in
+      let inst = Problem.random_instance ~seed:seed64 ~model:Problem.Byzantine ~k ~n ~t () in
+      let attack =
+        match attack with
+        | 0 -> Byz_2cycle.Silent
+        | 1 -> Byz_2cycle.Near_miss
+        | 2 -> Byz_2cycle.Consistent_lie
+        | 3 -> Byz_2cycle.Equivocate
+        | _ -> Byz_2cycle.Flood (max 1 t)
+      in
+      let opts = Exec.with_latency (Latency.jittered (Prng.create seed64)) Exec.default in
+      (* s = 2 with >= 10 honest reporters: coverage failure < 2^-8. *)
+      (Byz_2cycle.run_with ~opts ~attack ~segments:2 ~rho:1 inst).Problem.ok)
+
+let prop_byz_multicycle_safe_params =
+  QCheck.Test.make ~name:"byz-multicycle: correct under catalog attacks (safe parameters)"
+    ~count:40 byz2_instance_arb (fun (k, t, n, attack, seed) ->
+      let seed64 = Int64.of_int seed in
+      let inst = Problem.random_instance ~seed:seed64 ~model:Problem.Byzantine ~k ~n ~t () in
+      let attack =
+        match attack with
+        | 0 -> Byz_multicycle.Silent
+        | 1 -> Byz_multicycle.Near_miss
+        | 2 -> Byz_multicycle.Consistent_lie
+        | 3 -> Byz_multicycle.Equivocate
+        | _ -> Byz_multicycle.Flood (max 1 t)
+      in
+      let opts = Exec.with_latency (Latency.jittered (Prng.create seed64)) Exec.default in
+      (Byz_multicycle.run_with ~opts ~attack ~segments:2 ~rho:1 inst).Problem.ok)
+
+let prop_spec_bound_crash_general =
+  QCheck.Test.make ~name:"spec: crash-general Q bound holds on random instances" ~count:50
+    crash_instance_arb (fun (k, t, n, after_sends, seed) ->
+      let seed64 = Int64.of_int seed in
+      let inst = Problem.random_instance ~seed:seed64 ~k ~n ~t () in
+      let opts =
+        Exec.default
+        |> Exec.with_latency (Latency.jittered (Prng.create seed64))
+        |> Exec.with_crash (Crash_plan.mid_broadcast inst.Problem.fault ~after_sends)
+      in
+      let r = Crash_general.run ~opts inst in
+      r.Problem.ok
+      && Spec.within Spec.crash_general ~k ~n ~t ~b:inst.Problem.b ~measured:r.Problem.q_max)
+
+let prop_spec_bound_committee =
+  QCheck.Test.make ~name:"spec: committee Q bound holds on random instances" ~count:50
+    committee_instance_arb (fun (k, t, n, attack, seed) ->
+      ignore attack;
+      let seed64 = Int64.of_int seed in
+      let inst = Problem.random_instance ~seed:seed64 ~model:Problem.Byzantine ~k ~n ~t () in
+      let opts = Exec.with_latency (Latency.jittered (Prng.create seed64)) Exec.default in
+      let r = Committee.run_with ~opts ~attack:Committee.Equivocate inst in
+      r.Problem.ok
+      && Spec.within Spec.committee ~k ~n ~t ~b:inst.Problem.b ~measured:r.Problem.q_max)
+
+let prop_naive_unconditional =
+  QCheck.Test.make ~name:"naive: correct whatever the fault pattern" ~count:40
+    QCheck.(triple (int_range 1 10) (int_range 1 60) (int_range 0 10_000))
+    (fun (k, n, seed) ->
+      QCheck.assume (n >= k);
+      let t = seed mod k in
+      let inst =
+        Problem.random_instance ~seed:(Int64.of_int (seed + 1)) ~model:Problem.Byzantine ~k ~n ~t ()
+      in
+      (Naive.run inst).Problem.ok)
+
+let suite =
+  (* A fixed QCheck random state keeps the generated cases identical from
+     run to run: the whole test suite stays deterministic (the randomized
+     protocols' w.h.p. failure events would otherwise flake CI at ~1e-3). *)
+  let rand = Random.State.make [| 0x5eed |] in
+  List.map (fun t -> QCheck_alcotest.to_alcotest ~rand t)
+    [
+      prop_bits_roundtrip;
+      prop_bits_count_ones;
+      prop_bits_first_diff;
+      prop_bits_append_sub;
+      prop_bits_flip_involution;
+      prop_segment_tiles;
+      prop_segment_of_bit;
+      prop_segment_children_concat;
+      prop_wire_roundtrip;
+      prop_tree_recovers_truth;
+      prop_tree_node_count;
+      prop_crash_general_always_correct;
+      prop_crash_single_always_correct;
+      prop_crash_general_heterogeneous_wan;
+      prop_crash_general_link_serialized;
+      prop_byz_2cycle_safe_params;
+      prop_byz_multicycle_safe_params;
+      prop_naive_unconditional;
+      prop_spec_bound_crash_general;
+      prop_spec_bound_committee;
+      prop_crash_general_q_bound;
+      prop_committee_always_correct;
+      prop_balanced_correct;
+      prop_summary_bounds;
+      prop_binomial_pmf_sums;
+      prop_coverage_monotone_in_rho;
+    ]

@@ -1,0 +1,264 @@
+(* Tests for bit arrays, segmentation, the data source and packetization. *)
+
+open Dr_source
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Bitarray                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_bits_set_get () =
+  let a = Bitarray.create 19 in
+  Bitarray.set a 0 true;
+  Bitarray.set a 7 true;
+  Bitarray.set a 8 true;
+  Bitarray.set a 18 true;
+  checks "pattern" "1000000110000000001" (Bitarray.to_string a);
+  Bitarray.set a 7 false;
+  checkb "cleared" false (Bitarray.get a 7)
+
+let test_bits_roundtrip () =
+  let s = "0110100111010001" in
+  checks "of/to string" s (Bitarray.to_string (Bitarray.of_string s))
+
+let test_bits_of_string_rejects () =
+  Alcotest.check_raises "bad char" (Invalid_argument "Bitarray.of_string: expected only '0'/'1'")
+    (fun () -> ignore (Bitarray.of_string "01x"))
+
+let test_bits_bounds () =
+  let a = Bitarray.create 8 in
+  Alcotest.check_raises "get oob" (Invalid_argument "Bitarray: index out of bounds") (fun () ->
+      ignore (Bitarray.get a 8));
+  Alcotest.check_raises "negative" (Invalid_argument "Bitarray: index out of bounds") (fun () ->
+      ignore (Bitarray.get a (-1)))
+
+let test_bits_equal_content () =
+  let a = Bitarray.of_string "10101" and b = Bitarray.of_string "10101" in
+  checkb "equal" true (Bitarray.equal a b);
+  Bitarray.set b 4 false;
+  checkb "not equal" false (Bitarray.equal a b);
+  checkb "length matters" false (Bitarray.equal a (Bitarray.of_string "101010"))
+
+let test_bits_padding_invisible () =
+  (* Setting then clearing high bits must not corrupt equality. *)
+  let a = Bitarray.create 9 and b = Bitarray.create 9 in
+  Bitarray.set a 8 true;
+  Bitarray.set a 8 false;
+  checkb "padding clean" true (Bitarray.equal a b);
+  checki "compare 0" 0 (Bitarray.compare a b)
+
+let test_bits_sub_blit () =
+  let a = Bitarray.of_string "0011010110" in
+  let s = Bitarray.sub a ~pos:2 ~len:5 in
+  checks "sub" "11010" (Bitarray.to_string s);
+  let d = Bitarray.create 10 in
+  Bitarray.blit ~src:s ~dst:d ~pos:3;
+  checks "blit" "0001101000" (Bitarray.to_string d)
+
+let test_bits_append () =
+  let a = Bitarray.of_string "101" and b = Bitarray.of_string "0011" in
+  checks "append" "1010011" (Bitarray.to_string (Bitarray.append a b))
+
+let test_bits_first_diff () =
+  let a = Bitarray.of_string "110100" and b = Bitarray.of_string "110001" in
+  checkb "diff at 3" true (Bitarray.first_diff a b = Some 3);
+  checkb "self none" true (Bitarray.first_diff a a = None)
+
+let test_bits_first_diff_far () =
+  (* Difference beyond the first byte exercises the byte-scan path. *)
+  let a = Bitarray.create 100 and b = Bitarray.create 100 in
+  Bitarray.set b 77 true;
+  checkb "diff at 77" true (Bitarray.first_diff a b = Some 77)
+
+let test_bits_counts () =
+  let a = Bitarray.of_string "1101001" in
+  checki "ones" 4 (Bitarray.count_ones a);
+  let b = Bitarray.of_string "1001001" in
+  checki "hamming" 1 (Bitarray.diff_count a b)
+
+let test_bits_flip () =
+  let a = Bitarray.of_string "000" in
+  let b = Bitarray.flip a 1 in
+  checks "flipped copy" "010" (Bitarray.to_string b);
+  checks "original intact" "000" (Bitarray.to_string a)
+
+let test_bits_random_deterministic () =
+  let mk () = Bitarray.to_string (Bitarray.random (Dr_engine.Prng.create 4L) 64) in
+  checks "reproducible" (mk ()) (mk ())
+
+(* ------------------------------------------------------------------ *)
+(* Segment                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_segment_partition () =
+  (* Segments tile [0, n) exactly, lengths within 1 of each other. *)
+  List.iter
+    (fun (n, s) ->
+      let spec = Segment.make ~n ~s in
+      let total = ref 0 in
+      let min_len = ref max_int and max_len = ref 0 in
+      for j = 0 to s - 1 do
+        let pos, len = Segment.bounds spec j in
+        checki (Printf.sprintf "contiguous n=%d s=%d j=%d" n s j) !total pos;
+        total := !total + len;
+        if len < !min_len then min_len := len;
+        if len > !max_len then max_len := len
+      done;
+      checki "covers n" n !total;
+      checkb "balanced" true (!max_len - !min_len <= 1);
+      checki "max_len consistent" !max_len (Segment.max_len spec))
+    [ (10, 3); (16, 4); (17, 4); (100, 7); (5, 5); (1, 1); (1000, 64) ]
+
+let test_segment_of_bit () =
+  List.iter
+    (fun (n, s) ->
+      let spec = Segment.make ~n ~s in
+      for i = 0 to n - 1 do
+        let j = Segment.of_bit spec i in
+        let pos, len = Segment.bounds spec j in
+        checkb "bit in its segment" true (i >= pos && i < pos + len)
+      done)
+    [ (10, 3); (17, 4); (64, 8); (63, 8) ]
+
+let test_segment_halve_alignment () =
+  let fine = Segment.make ~n:100 ~s:16 in
+  let coarse = Segment.halve fine in
+  checki "half count" 8 coarse.Segment.s;
+  for j = 0 to coarse.Segment.s - 1 do
+    match Segment.children ~coarse ~fine j with
+    | [ a; b ] ->
+      checki "children consecutive" (a + 1) b;
+      let cpos, clen = Segment.bounds coarse j in
+      let apos, alen = Segment.bounds fine a in
+      let _bpos, blen = Segment.bounds fine b in
+      checki "start aligned" cpos apos;
+      checki "lengths add" clen (alen + blen)
+    | _ -> Alcotest.fail "expected two children"
+  done
+
+let test_segment_extract () =
+  let x = Bitarray.of_string "0101101100" in
+  let spec = Segment.make ~n:10 ~s:2 in
+  checks "seg0" "01011" (Bitarray.to_string (Segment.extract spec x 0));
+  checks "seg1" "01100" (Bitarray.to_string (Segment.extract spec x 1))
+
+let test_segment_invalid () =
+  Alcotest.check_raises "s>n" (Invalid_argument "Segment.make: need 1 <= s <= n") (fun () ->
+      ignore (Segment.make ~n:4 ~s:5));
+  let spec = Segment.make ~n:9 ~s:3 in
+  Alcotest.check_raises "odd halve" (Invalid_argument "Segment.halve: segment count must be even")
+    (fun () -> ignore (Segment.halve spec))
+
+(* ------------------------------------------------------------------ *)
+(* Data_source                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_source_counts () =
+  let x = Bitarray.of_string "1010" in
+  let src = Data_source.create ~k:3 x in
+  checkb "bit0" true (Data_source.query src ~peer:0 0);
+  checkb "bit1" false (Data_source.query src ~peer:0 1);
+  ignore (Data_source.query src ~peer:2 3);
+  checki "peer0 count" 2 (Data_source.queries_by src 0);
+  checki "peer1 count" 0 (Data_source.queries_by src 1);
+  checki "total" 3 (Data_source.total_queries src);
+  checki "max" 2 (Data_source.max_queries src);
+  checki "max among honest={1,2}" 1
+    (Data_source.max_queries ~select:(fun i -> i > 0) src);
+  Data_source.reset_counts src;
+  checki "reset" 0 (Data_source.total_queries src)
+
+let test_source_repeat_queries_counted () =
+  let src = Data_source.create ~k:1 (Bitarray.of_string "1") in
+  for _ = 1 to 5 do
+    ignore (Data_source.query src ~peer:0 0)
+  done;
+  checki "repeats count" 5 (Data_source.queries_by src 0)
+
+(* ------------------------------------------------------------------ *)
+(* Wire                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_wire_split_sizes () =
+  let bits = Bitarray.random (Dr_engine.Prng.create 8L) 23 in
+  let parts = Dr_core.Wire.split ~b:8 bits in
+  checki "part count" 3 (List.length parts);
+  List.iteri
+    (fun idx (part, payload) ->
+      checki "indexed in order" idx part;
+      checkb "size bound" true (Bitarray.length payload <= 8))
+    parts
+
+let test_wire_roundtrip () =
+  List.iter
+    (fun (len, b) ->
+      let bits = Bitarray.random (Dr_engine.Prng.create 21L) len in
+      let asm = Dr_core.Wire.Assembly.create ~len ~b in
+      (* Deliver parts in reverse order; reassembly must not care. *)
+      List.iter
+        (fun (part, payload) -> Dr_core.Wire.Assembly.add asm ~part payload)
+        (List.rev (Dr_core.Wire.split ~b bits));
+      checkb "complete" true (Dr_core.Wire.Assembly.complete asm);
+      checkb "identical" true (Bitarray.equal bits (Dr_core.Wire.Assembly.get asm)))
+    [ (1, 1); (10, 3); (64, 64); (65, 64); (100, 7) ]
+
+let test_wire_empty () =
+  let asm = Dr_core.Wire.Assembly.create ~len:0 ~b:4 in
+  checkb "incomplete before part" false (Dr_core.Wire.Assembly.complete asm);
+  List.iter
+    (fun (part, payload) -> Dr_core.Wire.Assembly.add asm ~part payload)
+    (Dr_core.Wire.split ~b:4 (Bitarray.create 0));
+  checkb "complete after empty part" true (Dr_core.Wire.Assembly.complete asm);
+  checki "empty result" 0 (Bitarray.length (Dr_core.Wire.Assembly.get asm))
+
+let test_wire_duplicate_parts_ignored () =
+  let bits = Bitarray.of_string "110011" in
+  let asm = Dr_core.Wire.Assembly.create ~len:6 ~b:3 in
+  let parts = Dr_core.Wire.split ~b:3 bits in
+  List.iter (fun (part, payload) -> Dr_core.Wire.Assembly.add asm ~part payload) parts;
+  List.iter (fun (part, payload) -> Dr_core.Wire.Assembly.add asm ~part payload) parts;
+  checki "received counted once" 2 (Dr_core.Wire.Assembly.received_parts asm);
+  checkb "still correct" true (Bitarray.equal bits (Dr_core.Wire.Assembly.get asm))
+
+let test_wire_incomplete_get_raises () =
+  let asm = Dr_core.Wire.Assembly.create ~len:10 ~b:4 in
+  Alcotest.check_raises "incomplete get" (Invalid_argument "Wire.Assembly.get: incomplete")
+    (fun () -> ignore (Dr_core.Wire.Assembly.get asm))
+
+let test_wire_size_mismatch_raises () =
+  let asm = Dr_core.Wire.Assembly.create ~len:10 ~b:4 in
+  Alcotest.check_raises "bad size" (Invalid_argument "Wire.Assembly.add: payload size mismatch")
+    (fun () -> Dr_core.Wire.Assembly.add asm ~part:0 (Bitarray.create 3))
+
+let suite =
+  [
+    ("bitarray set/get", `Quick, test_bits_set_get);
+    ("bitarray string roundtrip", `Quick, test_bits_roundtrip);
+    ("bitarray of_string rejects", `Quick, test_bits_of_string_rejects);
+    ("bitarray bounds", `Quick, test_bits_bounds);
+    ("bitarray equality", `Quick, test_bits_equal_content);
+    ("bitarray padding invisible", `Quick, test_bits_padding_invisible);
+    ("bitarray sub/blit", `Quick, test_bits_sub_blit);
+    ("bitarray append", `Quick, test_bits_append);
+    ("bitarray first_diff", `Quick, test_bits_first_diff);
+    ("bitarray first_diff far", `Quick, test_bits_first_diff_far);
+    ("bitarray counts", `Quick, test_bits_counts);
+    ("bitarray flip", `Quick, test_bits_flip);
+    ("bitarray random deterministic", `Quick, test_bits_random_deterministic);
+    ("segment partition", `Quick, test_segment_partition);
+    ("segment of_bit", `Quick, test_segment_of_bit);
+    ("segment halve alignment", `Quick, test_segment_halve_alignment);
+    ("segment extract", `Quick, test_segment_extract);
+    ("segment invalid args", `Quick, test_segment_invalid);
+    ("source query counting", `Quick, test_source_counts);
+    ("source repeats counted", `Quick, test_source_repeat_queries_counted);
+    ("wire split sizes", `Quick, test_wire_split_sizes);
+    ("wire roundtrip", `Quick, test_wire_roundtrip);
+    ("wire empty payload", `Quick, test_wire_empty);
+    ("wire duplicates ignored", `Quick, test_wire_duplicate_parts_ignored);
+    ("wire incomplete get", `Quick, test_wire_incomplete_get_raises);
+    ("wire size mismatch", `Quick, test_wire_size_mismatch_raises);
+  ]

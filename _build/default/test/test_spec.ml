@@ -1,0 +1,99 @@
+(* The Spec bounds must (a) match the protocol registry, (b) hold on live
+   executions across the whole parameter grid. *)
+
+open Dr_core
+module Latency = Dr_adversary.Latency
+module Crash_plan = Dr_adversary.Crash_plan
+module Prng = Dr_engine.Prng
+
+let checkb = Alcotest.(check bool)
+
+let test_spec_covers_registry () =
+  List.iter
+    (fun (module P : Exec.PROTOCOL) ->
+      checkb (P.name ^ " has a spec") true (Spec.find P.name <> None))
+    Select.all;
+  checkb "no orphan specs" true
+    (List.for_all (fun b -> Select.by_name b.Spec.protocol <> None) Spec.all)
+
+let test_resilience_matches_supports () =
+  (* Spec.resilience and PROTOCOL.supports must agree across a grid. *)
+  List.iter
+    (fun (module P : Exec.PROTOCOL) ->
+      match Spec.find P.name with
+      | None -> Alcotest.fail "missing spec"
+      | Some b ->
+        for k = 2 to 10 do
+          for t = 0 to k - 1 do
+            let model =
+              if P.name = "naive" || String.length P.name >= 3 && String.sub P.name 0 3 = "byz"
+              then Problem.Byzantine
+              else Problem.Crash
+            in
+            let inst = Problem.random_instance ~k ~n:32 ~t ~model () in
+            let supported = P.supports inst = Ok () in
+            let spec_ok = b.Spec.resilience ~k ~t in
+            (* supports may be stricter about the model; where both are in
+               their model, the resilience conditions must coincide. *)
+            if supported <> spec_ok then
+              Alcotest.failf "%s: supports=%b spec=%b at k=%d t=%d" P.name supported spec_ok k t
+          done
+        done)
+    [ (module Naive : Exec.PROTOCOL); (module Crash_general); (module Committee) ]
+
+let test_bounds_hold_on_live_runs () =
+  (* Crash protocols under silent crashes: measured Q <= bound. *)
+  List.iter
+    (fun (k, n, t, seed) ->
+      let inst = Problem.random_instance ~seed ~k ~n ~t () in
+      let opts =
+        Exec.default
+        |> Exec.with_latency (Latency.jittered (Prng.create seed))
+        |> Exec.with_crash (Crash_plan.mid_broadcast inst.Problem.fault ~after_sends:0)
+      in
+      let r = Crash_general.run ~opts inst in
+      checkb
+        (Printf.sprintf "crash-general within bound (k=%d n=%d t=%d)" k n t)
+        true
+        (r.Problem.ok && Spec.within Spec.crash_general ~k ~n ~t ~b:inst.Problem.b ~measured:r.Problem.q_max))
+    [ (8, 512, 2, 1L); (8, 512, 6, 2L); (16, 2048, 8, 3L); (12, 1200, 11, 4L) ]
+
+let test_bounds_hold_committee () =
+  List.iter
+    (fun (k, n, t, seed) ->
+      let inst = Problem.random_instance ~seed ~model:Problem.Byzantine ~k ~n ~t () in
+      let r = Committee.run_with ~attack:Committee.Equivocate inst in
+      checkb
+        (Printf.sprintf "committee within bound (k=%d n=%d t=%d)" k n t)
+        true
+        (r.Problem.ok && Spec.within Spec.committee ~k ~n ~t ~b:inst.Problem.b ~measured:r.Problem.q_max))
+    [ (9, 512, 4, 1L); (16, 2048, 4, 2L); (32, 4096, 8, 3L) ]
+
+let test_bounds_hold_2cycle () =
+  List.iter
+    (fun (k, n, t, seed) ->
+      let inst = Problem.random_instance ~seed ~model:Problem.Byzantine ~k ~n ~t () in
+      let r = Byz_2cycle.run_with ~attack:Byz_2cycle.Near_miss inst in
+      checkb
+        (Printf.sprintf "2cycle within bound (k=%d n=%d t=%d)" k n t)
+        true
+        (r.Problem.ok && Spec.within Spec.byz_2cycle ~k ~n ~t ~b:inst.Problem.b ~measured:r.Problem.q_max))
+    [ (128, 8192, 8, 1L); (128, 8192, 32, 2L); (16, 256, 4, 3L) ]
+
+let test_bound_is_not_vacuous () =
+  (* The bounds must sit below naive for the interesting regimes. *)
+  let k = 32 and n = 16384 and t = 8 and b = 960 in
+  checkb "crash bound < n" true (Spec.crash_general.Spec.q_bound ~k ~n ~t ~b < float_of_int n);
+  checkb "committee bound < n" true (Spec.committee.Spec.q_bound ~k ~n ~t ~b < float_of_int n);
+  checkb "2cycle bound < n" true
+    (Spec.byz_2cycle.Spec.q_bound ~k:128 ~n:32768 ~t:8 ~b < 32768.)
+
+let suite =
+  [
+    ("spec covers the registry", `Quick, test_spec_covers_registry);
+    ("resilience matches supports", `Quick, test_resilience_matches_supports);
+    ("crash-general bound holds live", `Quick, test_bounds_hold_on_live_runs);
+    ("committee bound holds live", `Quick, test_bounds_hold_committee);
+    ("2cycle bound holds live", `Quick, test_bounds_hold_2cycle);
+    ("bounds are not vacuous", `Quick, test_bound_is_not_vacuous);
+  ]

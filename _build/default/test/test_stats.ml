@@ -1,0 +1,240 @@
+(* Tests for the statistics helpers: summaries, tail bounds, tables, and
+   the Select dispatcher. *)
+
+open Dr_stats
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf eps = Alcotest.(check (float eps))
+let checks = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Summary                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_summary_basics () =
+  let s = Summary.of_floats [ 1.; 2.; 3.; 4.; 5. ] in
+  checki "count" 5 s.Summary.count;
+  checkf 1e-9 "mean" 3. s.Summary.mean;
+  checkf 1e-9 "median" 3. s.Summary.median;
+  checkf 1e-9 "min" 1. s.Summary.min;
+  checkf 1e-9 "max" 5. s.Summary.max;
+  checkf 1e-6 "stddev" (sqrt 2.) s.Summary.stddev
+
+let test_summary_single () =
+  let s = Summary.of_floats [ 7.5 ] in
+  checkf 1e-9 "median = value" 7.5 s.Summary.median;
+  checkf 1e-9 "p90 = value" 7.5 s.Summary.p90;
+  checkf 1e-9 "sd 0" 0. s.Summary.stddev
+
+let test_summary_of_ints () =
+  let s = Summary.of_ints [ 10; 20 ] in
+  checkf 1e-9 "mean" 15. s.Summary.mean;
+  (* lower-median convention via interpolation at q=0.5 of two points *)
+  checkf 1e-9 "median interpolates" 15. s.Summary.median
+
+let test_summary_empty_raises () =
+  Alcotest.check_raises "empty" (Invalid_argument "Summary.of_floats: empty") (fun () ->
+      ignore (Summary.of_floats []))
+
+let test_percentile_interpolation () =
+  let sorted = [| 0.; 10.; 20.; 30. |] in
+  checkf 1e-9 "p0" 0. (Summary.percentile sorted 0.);
+  checkf 1e-9 "p100" 30. (Summary.percentile sorted 1.);
+  checkf 1e-9 "p50" 15. (Summary.percentile sorted 0.5);
+  checkf 1e-9 "p25" 7.5 (Summary.percentile sorted 0.25)
+
+(* ------------------------------------------------------------------ *)
+(* Chernoff / binomial                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_binomial_pmf_known () =
+  (* Bin(4, 0.5): probabilities 1/16, 4/16, 6/16, 4/16, 1/16. *)
+  checkf 1e-9 "pmf 0" (1. /. 16.) (Chernoff.binomial_pmf ~trials:4 ~p:0.5 0);
+  checkf 1e-9 "pmf 2" (6. /. 16.) (Chernoff.binomial_pmf ~trials:4 ~p:0.5 2);
+  checkf 1e-9 "pmf 4" (1. /. 16.) (Chernoff.binomial_pmf ~trials:4 ~p:0.5 4);
+  checkf 1e-9 "out of range" 0. (Chernoff.binomial_pmf ~trials:4 ~p:0.5 5)
+
+let test_binomial_degenerate () =
+  checkf 1e-9 "p=0 mass at 0" 1. (Chernoff.binomial_pmf ~trials:10 ~p:0. 0);
+  checkf 1e-9 "p=1 mass at n" 1. (Chernoff.binomial_pmf ~trials:10 ~p:1. 10)
+
+let test_binomial_tail () =
+  (* P[Bin(4,0.5) < 2] = 5/16. *)
+  checkf 1e-9 "tail below 2" (5. /. 16.) (Chernoff.binomial_tail_below ~trials:4 ~p:0.5 ~threshold:2);
+  checkf 1e-9 "below 0 is 0" 0. (Chernoff.binomial_tail_below ~trials:4 ~p:0.5 ~threshold:0);
+  checkf 1e-9 "below n+1 is 1" 1. (Chernoff.binomial_tail_below ~trials:4 ~p:0.5 ~threshold:5)
+
+let test_coverage_failure_sane () =
+  (* More honest pickers -> lower failure probability. *)
+  let f h = Chernoff.coverage_failure ~honest:h ~segments:4 ~rho:2 in
+  checkb "monotone in honest" true (f 40 < f 20 && f 20 < f 10);
+  checkb "clamped" true (Chernoff.coverage_failure ~honest:1 ~segments:10 ~rho:5 <= 1.)
+
+let test_chernoff_below () =
+  checkf 1e-9 "factor >= 1 trivial" 1. (Chernoff.chernoff_below ~mu:10. ~factor:1.5);
+  let b = Chernoff.chernoff_below ~mu:32. ~factor:0.5 in
+  checkf 1e-9 "exp(-mu/8)" (exp (-4.)) b
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_layout () =
+  let t = Table.create [ "a"; "bbbb" ] in
+  Table.add_row t [ "xxxxx"; "y" ];
+  let rendered = Table.render t in
+  let lines = String.split_on_char '\n' rendered in
+  (match lines with
+  | header :: rule :: row :: _ ->
+    checks "header padded" "a      bbbb" header;
+    checks "rule" (String.make 11 '-') rule;
+    checks "row" "xxxxx  y   " row
+  | _ -> Alcotest.fail "unexpected layout");
+  ()
+
+let test_table_short_row_padded () =
+  let t = Table.create [ "a"; "b"; "c" ] in
+  Table.add_row t [ "1" ];
+  checkb "renders" true (String.length (Table.render t) > 0)
+
+let test_table_long_row_rejected () =
+  let t = Table.create [ "a" ] in
+  Alcotest.check_raises "too many cells" (Invalid_argument "Table.add_row: more cells than headers")
+    (fun () -> Table.add_row t [ "1"; "2" ])
+
+let test_table_cells () =
+  checks "int" "42" (Table.cell_int 42);
+  checks "float" "3.14" (Table.cell_float ~decimals:2 3.14159);
+  checks "bool" "yes" (Table.cell_bool true);
+  checks "bool no" "no" (Table.cell_bool false)
+
+(* ------------------------------------------------------------------ *)
+(* Par                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_par_matches_sequential () =
+  let xs = List.init 57 Fun.id in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (list int)) "ordered results" (List.map f xs) (Par.map ~domains:3 f xs);
+  Alcotest.(check (list int)) "singleton" [ 2 ] (Par.map ~domains:4 f [ 1 ]);
+  Alcotest.(check (list int)) "empty" [] (Par.map f [])
+
+let test_par_runs_simulations () =
+  (* Whole simulations in worker domains: same reports as sequential. *)
+  let open Dr_core in
+  let job seed =
+    let inst = Problem.random_instance ~seed ~k:5 ~n:40 ~t:1 () in
+    let r = Crash_general.run inst in
+    (r.Problem.ok, r.Problem.q_max)
+  in
+  let seeds = List.init 12 (fun i -> Int64.of_int (i + 1)) in
+  Alcotest.(check (list (pair bool int)))
+    "parallel = sequential" (List.map job seeds)
+    (Par.map ~domains:3 job seeds)
+
+(* ------------------------------------------------------------------ *)
+(* Select (protocol dispatch)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let name_of m =
+  let (module P : Dr_core.Exec.PROTOCOL) = m in
+  P.name
+
+let test_select_regimes () =
+  let open Dr_core in
+  let crash ~k ~t = Problem.random_instance ~k ~n:64 ~t () in
+  let byz ~k ~t = Problem.random_instance ~model:Problem.Byzantine ~k ~n:64 ~t () in
+  checks "no faults" "balanced" (name_of (Select.for_instance (crash ~k:8 ~t:0)));
+  checks "one crash" "crash-single" (name_of (Select.for_instance (crash ~k:8 ~t:1)));
+  checks "many crashes" "crash-general" (name_of (Select.for_instance (crash ~k:8 ~t:5)));
+  checks "byz minority randomized" "byz-2cycle" (name_of (Select.for_instance (byz ~k:9 ~t:4)));
+  checks "byz minority deterministic" "byz-committee"
+    (name_of (Select.for_instance ~prefer:Select.Deterministic (byz ~k:9 ~t:4)));
+  checks "byz majority" "naive" (name_of (Select.for_instance (byz ~k:8 ~t:4)))
+
+let test_select_by_name () =
+  checkb "found" true (Dr_core.Select.by_name "crash-general" <> None);
+  checkb "missing" true (Dr_core.Select.by_name "nope" = None);
+  checki "seven protocols" 7 (List.length Dr_core.Select.all)
+
+let test_selected_protocol_actually_works () =
+  let open Dr_core in
+  List.iter
+    (fun (k, t, model) ->
+      let inst = Problem.random_instance ~seed:3L ~model ~k ~n:128 ~t () in
+      let (module P : Exec.PROTOCOL) = Select.for_instance inst in
+      checkb
+        (Printf.sprintf "%s supports its own regime" P.name)
+        true
+        (P.supports inst = Ok ());
+      checkb (Printf.sprintf "%s solves it" P.name) true (P.run inst).Problem.ok)
+    [
+      (8, 0, Problem.Crash);
+      (8, 1, Problem.Crash);
+      (8, 5, Problem.Crash);
+      (9, 4, Problem.Byzantine);
+      (8, 4, Problem.Byzantine);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Printers (smoke)                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_printers_smoke () =
+  let s = Summary.of_floats [ 1.; 2.; 3. ] in
+  checkb "summary pp" true (String.length (Format.asprintf "%a" Summary.pp s) > 0);
+  let t = Table.create [ "a" ] in
+  Table.add_row t [ "1" ];
+  Table.add_rule t;
+  Table.add_row t [ "2" ];
+  checkb "rule renders" true
+    (List.length (String.split_on_char '\n' (Table.render t)) >= 5);
+  let inst = Dr_core.Problem.random_instance ~k:3 ~n:8 ~t:1 () in
+  let r = Dr_core.Naive.run inst in
+  let rendered = Format.asprintf "%a" Dr_core.Problem.pp_report r in
+  checkb "report pp mentions protocol" true
+    (String.length rendered > 0
+    && String.sub rendered 0 5 = "naive");
+  let m = Dr_engine.Metrics.create 2 in
+  Dr_engine.Metrics.on_query m 0;
+  let summary = Dr_engine.Metrics.summarize m in
+  checkb "metrics pp" true
+    (String.length (Format.asprintf "%a" Dr_engine.Metrics.pp_summary summary) > 0)
+
+let test_lanes_smoke () =
+  let trace = Dr_engine.Trace.create () in
+  Dr_engine.Trace.record trace
+    (Dr_engine.Trace.Sent { time = 0.; src = 0; dst = 1; size_bits = 8; tag = "x" });
+  Dr_engine.Trace.record trace (Dr_engine.Trace.Delivered { time = 1.; src = 0; dst = 1; tag = "x" });
+  Dr_engine.Trace.record trace (Dr_engine.Trace.Terminated { time = 2.; peer = 1 });
+  let out = Format.asprintf "%a" (fun ppf tr -> Dr_engine.Trace_stats.pp_lanes ~k:2 ppf tr) trace in
+  let lines = String.split_on_char '\n' out in
+  checkb "header + 3 rows" true (List.length lines >= 4);
+  checkb "contains send marker" true
+    (List.exists (fun l -> String.length l > 0 && String.index_opt l '>' <> None) lines)
+
+let suite =
+  [
+    ("summary: basics", `Quick, test_summary_basics);
+    ("summary: single value", `Quick, test_summary_single);
+    ("summary: of_ints", `Quick, test_summary_of_ints);
+    ("summary: empty raises", `Quick, test_summary_empty_raises);
+    ("summary: percentile interpolation", `Quick, test_percentile_interpolation);
+    ("chernoff: binomial pmf", `Quick, test_binomial_pmf_known);
+    ("chernoff: degenerate p", `Quick, test_binomial_degenerate);
+    ("chernoff: tail", `Quick, test_binomial_tail);
+    ("chernoff: coverage monotone", `Quick, test_coverage_failure_sane);
+    ("chernoff: multiplicative bound", `Quick, test_chernoff_below);
+    ("table: layout", `Quick, test_table_layout);
+    ("table: short row padded", `Quick, test_table_short_row_padded);
+    ("table: long row rejected", `Quick, test_table_long_row_rejected);
+    ("table: cell formatters", `Quick, test_table_cells);
+    ("par: matches sequential", `Quick, test_par_matches_sequential);
+    ("par: runs simulations", `Quick, test_par_runs_simulations);
+    ("select: regimes", `Quick, test_select_regimes);
+    ("select: by name", `Quick, test_select_by_name);
+    ("select: chosen protocol works", `Quick, test_selected_protocol_actually_works);
+    ("printers smoke", `Quick, test_printers_smoke);
+    ("lane view smoke", `Quick, test_lanes_smoke);
+  ]
