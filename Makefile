@@ -1,0 +1,29 @@
+.PHONY: all build test bench bench-check bench-diff clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full benchmark run: writes BENCH_engine.json / BENCH_protocols.json in the
+# working directory (several minutes).
+bench:
+	dune exec bench/bench_regress.exe
+
+# Fast smoke pass of the same harness (small sizes, few repeats) — the CI
+# guard that the bench path itself keeps working.
+bench-check:
+	dune build @bench-smoke
+
+# Compare a previous run against the committed reference numbers:
+#   make bench && make bench-diff OLD=path/to/old
+OLD ?= .
+bench-diff:
+	dune exec bin/dr_bench_diff.exe -- $(OLD)/BENCH_engine.json BENCH_engine.json
+	dune exec bin/dr_bench_diff.exe -- $(OLD)/BENCH_protocols.json BENCH_protocols.json
+
+clean:
+	dune clean

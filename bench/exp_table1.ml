@@ -117,7 +117,7 @@ let run () =
   List.iter
     (fun r ->
       let spec_ok =
-        match Spec.find r.protocol with
+        match Registry.spec_of r.protocol with
         | Some b ->
           let t = int_of_float (Float.round (r.beta *. float_of_int r.k)) in
           if Spec.within b ~k:r.k ~n:r.n ~t ~b:r.msg_b ~measured:r.q then "yes" else "NO"

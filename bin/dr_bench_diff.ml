@@ -1,0 +1,84 @@
+(* dr_bench_diff: compare two BENCH_*.json files from bench_regress and fail
+   on regression.
+
+   Examples:
+     dr_bench_diff BENCH_engine.old.json BENCH_engine.json
+     dr_bench_diff --max-regress 0.05 BENCH_protocols.old.json BENCH_protocols.json
+
+   All recorded metrics are throughputs, so "new median < old median by more
+   than the tolerance" is a regression. Exit codes: 0 ok, 1 regression,
+   2 usage/parse error. *)
+
+open Cmdliner
+module Bench_io = Dr_stats.Bench_io
+module Table = Dr_stats.Table
+
+let old_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD" ~doc:"Baseline JSON file.")
+
+let new_arg =
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW" ~doc:"Candidate JSON file.")
+
+let tolerance_arg =
+  Arg.(
+    value
+    & opt float 0.10
+    & info [ "max-regress" ] ~docv:"FRAC"
+        ~doc:"Allowed fractional slowdown of the median before failing (default 0.10).")
+
+let run old_path new_path tolerance =
+  match (Bench_io.read old_path, Bench_io.read new_path) with
+  | exception Failure msg -> `Error (false, msg)
+  | old_file, new_file ->
+    if old_file.Bench_io.suite <> new_file.Bench_io.suite then
+      `Error
+        ( false,
+          Printf.sprintf "suite mismatch: %s vs %s" old_file.Bench_io.suite
+            new_file.Bench_io.suite )
+    else begin
+      let table = Table.create [ "bench"; "old median"; "new median"; "speedup"; "verdict" ] in
+      let regressions = ref [] in
+      List.iter
+        (fun (n : Bench_io.bench) ->
+          match Bench_io.find old_file n.Bench_io.name with
+          | None ->
+            Table.add_row table
+              [ n.Bench_io.name; "-"; Printf.sprintf "%.0f" n.Bench_io.median; "-"; "new" ]
+          | Some o ->
+            let speedup =
+              if o.Bench_io.median > 0. then n.Bench_io.median /. o.Bench_io.median else nan
+            in
+            let regressed = speedup < 1. -. tolerance in
+            if regressed then regressions := n.Bench_io.name :: !regressions;
+            Table.add_row table
+              [
+                n.Bench_io.name;
+                Printf.sprintf "%.0f" o.Bench_io.median;
+                Printf.sprintf "%.0f" n.Bench_io.median;
+                Printf.sprintf "%.2fx" speedup;
+                (if regressed then "REGRESSED" else "ok");
+              ])
+        new_file.Bench_io.benches;
+      List.iter
+        (fun (o : Bench_io.bench) ->
+          if Bench_io.find new_file o.Bench_io.name = None then
+            Table.add_row table
+              [ o.Bench_io.name; Printf.sprintf "%.0f" o.Bench_io.median; "-"; "-"; "DROPPED" ])
+        old_file.Bench_io.benches;
+      Table.print table;
+      match !regressions with
+      | [] -> `Ok ()
+      | names ->
+        `Error
+          ( false,
+            Printf.sprintf "%d bench(es) regressed beyond %.0f%%: %s" (List.length names)
+              (tolerance *. 100.)
+              (String.concat ", " (List.rev names)) )
+    end
+
+let cmd =
+  Cmd.v
+    (Cmd.info "dr_bench_diff" ~doc:"Compare two bench_regress JSON files; fail on regression")
+    Term.(ret (const run $ old_arg $ new_arg $ tolerance_arg))
+
+let () = exit (Cmd.eval cmd)

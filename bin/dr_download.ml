@@ -13,8 +13,10 @@ module Crash_plan = Dr_adversary.Crash_plan
 module Prng = Dr_engine.Prng
 
 let protocol_arg =
-  let names = List.map (fun (module P : Exec.PROTOCOL) -> P.name) Select.all in
-  let doc = Printf.sprintf "Protocol to run: one of %s, or 'auto'." (String.concat ", " names) in
+  let doc =
+    Printf.sprintf "Protocol to run: one of %s, or 'auto'."
+      (String.concat ", " Registry.names)
+  in
   Arg.(value & opt string "auto" & info [ "p"; "protocol" ] ~docv:"NAME" ~doc)
 
 let peers_arg = Arg.(value & opt int 8 & info [ "k"; "peers" ] ~docv:"K" ~doc:"Number of peers.")
@@ -91,7 +93,7 @@ let run protocol k n t model seed msg_bits latency crash attack segments trace_f
       | [ "afterq"; j ] -> Crash_plan.after_queries fault (int_of_string j)
       | _ -> failwith ("unknown crash plan: " ^ crash)
     in
-    let opts = { Exec.default with Exec.latency = lat; crash = crash_plan; trace } in
+    let opts = Exec.make_opts ~latency:lat ~crash:crash_plan ?trace () in
     match explore with
     | Some budget ->
       let run_protocol ~arbiter =
@@ -122,39 +124,9 @@ let run protocol k n t model seed msg_bits latency crash attack segments trace_f
       | "auto" ->
         let (module P : Exec.PROTOCOL) = Select.for_instance inst in
         P.run ~opts inst
-      | "byz-committee" ->
-        let attack =
-          match attack with
-          | "default" | "equivocate" -> Committee.Equivocate
-          | "silent" -> Committee.Honest_but_silent
-          | "flip" -> Committee.Flip
-          | "collude" -> Committee.Collude
-          | other -> failwith ("unknown committee attack: " ^ other)
-        in
-        Committee.run_with ~opts ~attack inst
-      | "byz-2cycle" ->
-        let attack =
-          match attack with
-          | "default" | "nearmiss" -> Byz_2cycle.Near_miss
-          | "silent" -> Byz_2cycle.Silent
-          | "lie" -> Byz_2cycle.Consistent_lie
-          | "equivocate" -> Byz_2cycle.Equivocate
-          | other -> failwith ("unknown 2cycle attack: " ^ other)
-        in
-        Byz_2cycle.run_with ~opts ~attack ?segments inst
-      | "byz-multicycle" ->
-        let attack =
-          match attack with
-          | "default" | "nearmiss" -> Byz_multicycle.Near_miss
-          | "silent" -> Byz_multicycle.Silent
-          | "lie" -> Byz_multicycle.Consistent_lie
-          | "equivocate" -> Byz_multicycle.Equivocate
-          | other -> failwith ("unknown multicycle attack: " ^ other)
-        in
-        Byz_multicycle.run_with ~opts ~attack ?segments inst
       | name -> (
-        match Select.by_name name with
-        | Some (module P : Exec.PROTOCOL) -> P.run ~opts inst
+        match Registry.find name with
+        | Some e -> e.Registry.run ~opts ~attack ?segments inst
         | None -> failwith ("unknown protocol: " ^ name))
     in
     (match trace with

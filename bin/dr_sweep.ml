@@ -42,12 +42,12 @@ let latency_arg =
   Arg.(value & opt string "jitter" & info [ "latency" ] ~doc:"Latency policy: unit, jitter.")
 
 let run axis values protocol k n beta t b seeds crash latency =
-  let proto =
-    match Select.by_name protocol with
-    | Some p -> p
+  let entry =
+    match Registry.find protocol with
+    | Some e -> e
     | None -> failwith ("unknown protocol: " ^ protocol)
   in
-  let (module P : Exec.PROTOCOL) = proto in
+  let (module P : Exec.PROTOCOL) = entry.Registry.proto in
   print_endline "protocol,k,n,t,beta,B,seed,ok,q_max,q_mean,q_total,time,msgs,bits,max_msg";
   List.iter
     (fun value ->
@@ -66,7 +66,7 @@ let run axis values protocol k n beta t b seeds crash latency =
       in
       for s = 1 to seeds do
         let seed = Int64.of_int ((s * 7919) + 13) in
-        let model = if P.name = "byz-committee" || P.name = "byz-2cycle" || P.name = "byz-multicycle" then Problem.Byzantine else Problem.Crash in
+        let model = entry.Registry.model in
         let inst = Problem.random_instance ~seed ?b ~model ~k ~n ~t () in
         let lat =
           match latency with
@@ -86,7 +86,7 @@ let run axis values protocol k n beta t b seeds crash latency =
             | _ -> failwith ("unknown crash plan: " ^ crash)
           end
         in
-        let opts = { Exec.default with Exec.latency = lat; crash = crash_plan } in
+        let opts = Exec.make_opts ~latency:lat ~crash:crash_plan () in
         let r = P.run ~opts inst in
         Printf.printf "%s,%d,%d,%d,%.4f,%d,%Ld,%b,%d,%.1f,%d,%.2f,%d,%d,%d\n" P.name k n t
           (float_of_int t /. float_of_int k)

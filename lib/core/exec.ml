@@ -12,18 +12,23 @@ type opts = {
   arbiter : Dr_engine.Sim.arbiter option;
 }
 
-let default =
+let make_opts ?(latency = Dr_adversary.Latency.unit_delay) ?(link_rate = infinity)
+    ?(crash = Dr_adversary.Crash_plan.none) ?(query_latency = 0.)
+    ?(start_time = fun _ -> 0.) ?trace ?(max_events = 200_000_000) ?query_override
+    ?arbiter () =
   {
-    latency = Dr_adversary.Latency.unit_delay;
-    link_rate = infinity;
-    crash = Dr_adversary.Crash_plan.none;
-    query_latency = 0.;
-    start_time = (fun _ -> 0.);
-    trace = None;
-    max_events = 200_000_000;
-    query_override = None;
-    arbiter = None;
+    latency;
+    link_rate;
+    crash;
+    query_latency;
+    start_time;
+    trace;
+    max_events;
+    query_override;
+    arbiter;
   }
+
+let default = make_opts ()
 
 let with_latency latency opts = { opts with latency }
 let with_link_rate link_rate opts = { opts with link_rate }

@@ -22,8 +22,26 @@ type opts = {
           {!Dr_engine.Explore}); overrides latency-based ordering *)
 }
 
+val make_opts :
+  ?latency:Dr_adversary.Latency.fn ->
+  ?link_rate:float ->
+  ?crash:Dr_adversary.Crash_plan.t ->
+  ?query_latency:float ->
+  ?start_time:(int -> float) ->
+  ?trace:Dr_engine.Trace.t ->
+  ?max_events:int ->
+  ?query_override:(peer:int -> int -> bool) ->
+  ?arbiter:Dr_engine.Sim.arbiter ->
+  unit ->
+  opts
+(** Labelled constructor; every omitted field takes the [default] value
+    (unit latencies, unbounded links, no crashes, instant queries,
+    simultaneous start, no trace). Preferred over record literals: adding a
+    field to [opts] does not break [make_opts] callers. *)
+
 val default : opts
-(** Unit latencies, no crashes, instant queries, simultaneous start. *)
+(** [make_opts ()] — unit latencies, no crashes, instant queries,
+    simultaneous start. *)
 
 val with_latency : Dr_adversary.Latency.fn -> opts -> opts
 val with_link_rate : float -> opts -> opts

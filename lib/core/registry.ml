@@ -1,0 +1,111 @@
+type entry = {
+  proto : (module Exec.PROTOCOL);
+  model : Problem.fault_model;
+  beta_sup : float;
+  spec : Spec.bounds;
+  run :
+    ?opts:Exec.opts ->
+    ?attack:string ->
+    ?segments:int ->
+    Problem.instance ->
+    Problem.report;
+}
+
+(* Protocols without an attack surface accept (and ignore) any attack name,
+   matching the CLI's historical behavior of only routing --attack to the
+   Byzantine protocols. *)
+let plain (module P : Exec.PROTOCOL) ~model ~beta_sup ~spec =
+  {
+    proto = (module P);
+    model;
+    beta_sup;
+    spec;
+    run = (fun ?opts ?attack:_ ?segments:_ inst -> P.run ?opts inst);
+  }
+
+let committee_entry =
+  {
+    proto = (module Committee : Exec.PROTOCOL);
+    model = Problem.Byzantine;
+    beta_sup = 0.5;
+    spec = Spec.committee;
+    run =
+      (fun ?opts ?(attack = "default") ?segments:_ inst ->
+        let attack =
+          match attack with
+          | "default" | "equivocate" -> Committee.Equivocate
+          | "silent" -> Committee.Honest_but_silent
+          | "flip" -> Committee.Flip
+          | "collude" -> Committee.Collude
+          | other -> failwith ("unknown committee attack: " ^ other)
+        in
+        Committee.run_with ?opts ~attack inst);
+  }
+
+let byz_2cycle_entry =
+  {
+    proto = (module Byz_2cycle : Exec.PROTOCOL);
+    model = Problem.Byzantine;
+    beta_sup = 0.5;
+    spec = Spec.byz_2cycle;
+    run =
+      (fun ?opts ?(attack = "default") ?segments inst ->
+        let attack =
+          match attack with
+          | "default" | "nearmiss" -> Byz_2cycle.Near_miss
+          | "silent" -> Byz_2cycle.Silent
+          | "lie" -> Byz_2cycle.Consistent_lie
+          | "equivocate" -> Byz_2cycle.Equivocate
+          | other -> failwith ("unknown 2cycle attack: " ^ other)
+        in
+        Byz_2cycle.run_with ?opts ~attack ?segments inst);
+  }
+
+let byz_multicycle_entry =
+  {
+    proto = (module Byz_multicycle : Exec.PROTOCOL);
+    model = Problem.Byzantine;
+    beta_sup = 0.5;
+    spec = Spec.byz_multicycle;
+    run =
+      (fun ?opts ?(attack = "default") ?segments inst ->
+        let attack =
+          match attack with
+          | "default" | "nearmiss" -> Byz_multicycle.Near_miss
+          | "silent" -> Byz_multicycle.Silent
+          | "lie" -> Byz_multicycle.Consistent_lie
+          | "equivocate" -> Byz_multicycle.Equivocate
+          | other -> failwith ("unknown multicycle attack: " ^ other)
+        in
+        Byz_multicycle.run_with ?opts ~attack ?segments inst);
+  }
+
+let all =
+  [
+    plain (module Naive) ~model:Problem.Crash ~beta_sup:1. ~spec:Spec.naive;
+    plain (module Balanced) ~model:Problem.Crash ~beta_sup:0. ~spec:Spec.balanced;
+    plain (module Crash_single) ~model:Problem.Crash ~beta_sup:0. ~spec:Spec.crash_single;
+    plain (module Crash_general) ~model:Problem.Crash ~beta_sup:1. ~spec:Spec.crash_general;
+    committee_entry;
+    byz_2cycle_entry;
+    byz_multicycle_entry;
+  ]
+
+let name e =
+  let (module P : Exec.PROTOCOL) = e.proto in
+  P.name
+
+let randomized e = e.spec.Spec.randomized
+
+let find n = List.find_opt (fun e -> name e = n) all
+let find_exn n =
+  match find n with Some e -> e | None -> failwith ("unknown protocol: " ^ n)
+
+let admits e inst =
+  let (module P : Exec.PROTOCOL) = e.proto in
+  P.supports inst
+
+let protocols = List.map (fun e -> e.proto) all
+let names = List.map name all
+let specs = List.map (fun e -> e.spec) all
+let spec_of n = Option.map (fun e -> e.spec) (find n)

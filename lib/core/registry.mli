@@ -1,0 +1,54 @@
+(** The protocol registry: one entry per Download protocol.
+
+    Single source of truth for the set of protocols in the library. Each
+    entry bundles the first-class module with its fault model, fault-fraction
+    supremum, paper bounds ({!Spec.bounds}) and a uniform runner that parses
+    the CLI attack vocabulary for the protocols that take an adversary
+    strategy. Anything that needs "all protocols" — selection, CLIs, sweeps,
+    the experiment harness, the spec tests — goes through this table; no
+    other hand-maintained protocol list exists. *)
+
+type entry = {
+  proto : (module Exec.PROTOCOL);
+  model : Problem.fault_model;
+      (** the fault model the protocol is designed against (the model a
+          sweep should instantiate when running it) *)
+  beta_sup : float;
+      (** asymptotic supremum of the tolerated fault fraction t/k: 1 for
+          naive and the general crash protocol, 1/2 for the Byzantine
+          protocols, 0 for the fault-free/single-crash baselines. The exact
+          finite-[k] precondition is [spec.resilience] / [supports]. *)
+  spec : Spec.bounds;  (** the paper's bound record for this protocol *)
+  run :
+    ?opts:Exec.opts ->
+    ?attack:string ->
+    ?segments:int ->
+    Problem.instance ->
+    Problem.report;
+      (** run the protocol; [attack] is the CLI attack name ("default",
+          "silent", "flip", "equivocate", "collude", "nearmiss", "lie") —
+          protocols without an attack surface ignore it, the Byzantine ones
+          raise [Failure] on a name outside their catalog. [segments]
+          applies to the randomized protocols only. *)
+}
+
+val all : entry list
+(** Every protocol, baselines included, in presentation order. *)
+
+val find : string -> entry option
+(** Lookup by [Exec.PROTOCOL.name]. *)
+
+val find_exn : string -> entry
+(** @raise Failure on an unknown name. *)
+
+val name : entry -> string
+val randomized : entry -> bool
+
+val admits : entry -> Problem.instance -> (unit, string) result
+(** The protocol's own [supports] precondition. *)
+
+val protocols : (module Exec.PROTOCOL) list
+val names : string list
+
+val specs : Spec.bounds list
+val spec_of : string -> Spec.bounds option

@@ -1,31 +1,24 @@
 type preference = Deterministic | Randomized
 
-let all : (module Exec.PROTOCOL) list =
-  [
-    (module Naive);
-    (module Balanced);
-    (module Crash_single);
-    (module Crash_general);
-    (module Committee);
-    (module Byz_2cycle);
-    (module Byz_multicycle);
-  ]
+(* Every module reference goes through the registry: this file holds the
+   regime case analysis only, not a protocol list. *)
+let proto n = (Registry.find_exn n).Registry.proto
 
-let by_name name =
-  List.find_opt (fun (module P : Exec.PROTOCOL) -> P.name = name) all
+let all = Registry.protocols
+let by_name n = Option.map (fun e -> e.Registry.proto) (Registry.find n)
 
 let for_instance ?(prefer = Randomized) inst =
   let t = Problem.t inst in
   match inst.Problem.model with
   | Problem.Crash ->
-    if t = 0 then (module Balanced : Exec.PROTOCOL)
-    else if t = 1 then (module Crash_single)
-    else (module Crash_general)
+    if t = 0 then proto "balanced"
+    else if t = 1 then proto "crash-single"
+    else proto "crash-general"
   | Problem.Byzantine ->
-    if t = 0 then (module Balanced)
+    if t = 0 then proto "balanced"
     else if 2 * t < inst.Problem.k then begin
       match prefer with
-      | Deterministic -> (module Committee)
-      | Randomized -> (module Byz_2cycle)
+      | Deterministic -> proto "byz-committee"
+      | Randomized -> proto "byz-2cycle"
     end
-    else (module Naive)
+    else proto "naive"

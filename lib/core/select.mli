@@ -15,6 +15,8 @@ val for_instance : ?prefer:preference -> Problem.instance -> (module Exec.PROTOC
     instances (default [Randomized], the asymptotically better choice). *)
 
 val all : (module Exec.PROTOCOL) list
-(** Every Download protocol in the library, baselines included. *)
+(** Every Download protocol in the library, baselines included
+    (= [Registry.protocols]). *)
 
 val by_name : string -> (module Exec.PROTOCOL) option
+(** Registry lookup by protocol name. *)

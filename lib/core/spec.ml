@@ -106,10 +106,5 @@ let byz_multicycle =
     randomized = true;
   }
 
-let all =
-  [ naive; balanced; crash_single; crash_general; committee; byz_2cycle; byz_multicycle ]
-
-let find name = List.find_opt (fun b -> b.protocol = name) all
-
 let within bounds ~k ~n ~t ~b ~measured =
   bounds.resilience ~k ~t && float_of_int measured <= bounds.q_bound ~k ~n ~t ~b

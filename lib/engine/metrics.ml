@@ -1,3 +1,8 @@
+(* Counters live in one flat int array, [stride] slots per peer, updated with
+   unsafe accesses and a branch-free integer max: the on_* hooks run once per
+   simulated event, so they must cost a handful of instructions and zero
+   allocations. The [peer] record is only materialized on demand. *)
+
 type peer = {
   mutable queries : int;
   mutable msgs_sent : int;
@@ -7,25 +12,56 @@ type peer = {
   mutable wakeups : int;
 }
 
-type t = peer array
+let stride = 6
 
-let fresh_peer () =
-  { queries = 0; msgs_sent = 0; bits_sent = 0; msgs_received = 0; max_msg_bits = 0; wakeups = 0 }
+(* Field offsets within a peer's slice. *)
+let f_queries = 0
+let f_msgs_sent = 1
+let f_bits_sent = 2
+let f_msgs_received = 3
+let f_max_msg_bits = 4
+let f_wakeups = 5
 
-let create k = Array.init k (fun _ -> fresh_peer ())
-let peer t i = t.(i)
-let peer_count t = Array.length t
+type t = { k : int; data : int array }
 
-let on_query t i = t.(i).queries <- t.(i).queries + 1
+let create k = { k; data = Array.make (k * stride) 0 }
+let peer_count t = t.k
+
+let peer t i =
+  if i < 0 || i >= t.k then invalid_arg "Metrics.peer: bad index";
+  let base = i * stride in
+  {
+    queries = t.data.(base + f_queries);
+    msgs_sent = t.data.(base + f_msgs_sent);
+    bits_sent = t.data.(base + f_bits_sent);
+    msgs_received = t.data.(base + f_msgs_received);
+    max_msg_bits = t.data.(base + f_max_msg_bits);
+    wakeups = t.data.(base + f_wakeups);
+  }
+
+(* max(a, b) without a conditional branch: valid for native ints (the sign
+   of [b - a] cannot overflow for the counter magnitudes involved). *)
+let[@inline] imax a b =
+  let d = b - a in
+  a + (d land lnot (d asr (Sys.int_size - 1)))
+
+let[@inline] bump t i field =
+  let idx = (i * stride) + field in
+  Array.unsafe_set t.data idx (Array.unsafe_get t.data idx + 1)
+
+let[@inline] on_query t i = bump t i f_queries
 
 let on_send t i ~size_bits =
-  let p = t.(i) in
-  p.msgs_sent <- p.msgs_sent + 1;
-  p.bits_sent <- p.bits_sent + size_bits;
-  if size_bits > p.max_msg_bits then p.max_msg_bits <- size_bits
+  let base = i * stride in
+  Array.unsafe_set t.data (base + f_msgs_sent)
+    (Array.unsafe_get t.data (base + f_msgs_sent) + 1);
+  Array.unsafe_set t.data (base + f_bits_sent)
+    (Array.unsafe_get t.data (base + f_bits_sent) + size_bits);
+  Array.unsafe_set t.data (base + f_max_msg_bits)
+    (imax (Array.unsafe_get t.data (base + f_max_msg_bits)) size_bits)
 
-let on_receive t i = t.(i).msgs_received <- t.(i).msgs_received + 1
-let on_wakeup t i = t.(i).wakeups <- t.(i).wakeups + 1
+let[@inline] on_receive t i = bump t i f_msgs_received
+let[@inline] on_wakeup t i = bump t i f_wakeups
 
 type summary = {
   max_queries : int;
@@ -45,18 +81,19 @@ let summarize ?(select = fun _ -> true) t =
   and max_msg_bits = ref 0
   and max_wakeups = ref 0
   and selected = ref 0 in
-  Array.iteri
-    (fun i p ->
-      if select i then begin
-        incr selected;
-        if p.queries > !max_queries then max_queries := p.queries;
-        total_queries := !total_queries + p.queries;
-        total_msgs := !total_msgs + p.msgs_sent;
-        total_bits := !total_bits + p.bits_sent;
-        if p.max_msg_bits > !max_msg_bits then max_msg_bits := p.max_msg_bits;
-        if p.wakeups > !max_wakeups then max_wakeups := p.wakeups
-      end)
-    t;
+  for i = 0 to t.k - 1 do
+    if select i then begin
+      let base = i * stride in
+      incr selected;
+      let q = t.data.(base + f_queries) in
+      max_queries := imax !max_queries q;
+      total_queries := !total_queries + q;
+      total_msgs := !total_msgs + t.data.(base + f_msgs_sent);
+      total_bits := !total_bits + t.data.(base + f_bits_sent);
+      max_msg_bits := imax !max_msg_bits t.data.(base + f_max_msg_bits);
+      max_wakeups := imax !max_wakeups t.data.(base + f_wakeups)
+    end
+  done;
   {
     max_queries = !max_queries;
     total_queries = !total_queries;

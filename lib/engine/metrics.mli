@@ -15,11 +15,17 @@ type peer = {
 }
 
 type t
+(** Internally a flat counter array (one slice per peer); the [on_*] hooks
+    are branch-free and allocation-free — they run once per simulated
+    event. *)
 
 val create : int -> t
 (** [create k] allocates counters for [k] peers. *)
 
 val peer : t -> int -> peer
+(** Snapshot of one peer's counters (a fresh record per call; mutating it
+    does not write back). *)
+
 val peer_count : t -> int
 
 val on_query : t -> int -> unit

@@ -48,6 +48,7 @@ type 'r outcome = {
   metrics : Metrics.t;
   status : status;
   end_time : float;
+  events : int;
 }
 
 module Make (M : MESSAGE) = struct
@@ -90,7 +91,7 @@ module Make (M : MESSAGE) = struct
     id : int;
     mutable alive : bool;
     mutable finished : bool;
-    mailbox : (int * M.t) Queue.t;
+    mailbox : (int * M.t) Ring.t;
     mutable wait : wait;
     prng : Prng.t;
     mutable sends : int;
@@ -112,7 +113,7 @@ module Make (M : MESSAGE) = struct
             id;
             alive = true;
             finished = false;
-            mailbox = Queue.create ();
+            mailbox = Ring.create ();
             wait = Idle;
             prng = Prng.split master;
             sends = 0;
@@ -123,17 +124,28 @@ module Make (M : MESSAGE) = struct
     (* Store-and-forward link serialization: each ordered link transmits at
        [link_rate] bits per time unit, one message at a time, in FIFO order.
        [infinity] (the default) models unbounded bandwidth. *)
-    let link_free : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+    let serialized = cfg.link_rate <> infinity in
+    let link_free : (int * int, float) Hashtbl.t =
+      if serialized then Hashtbl.create 64 else Hashtbl.create 1
+    in
     let metrics = Metrics.create cfg.k in
     let outputs = Array.make cfg.k None in
-    let clock = ref 0. in
+    (* A one-slot float array keeps the clock flat (a [float ref] would box
+       on every store). *)
+    let clock = [| 0. |] in
     let events_done = ref 0 in
+    (* Crash plans are fixed per peer; resolve the closure once instead of
+       on every send/query. *)
+    let crash_spec = Array.init cfg.k cfg.crash in
+    (* Tracing must cost nothing when off: every call site is guarded by
+       [trace_on] so the closure passed to [tr] is never even allocated. *)
+    let trace_on = cfg.trace <> None in
     let tr f = match cfg.trace with None -> () | Some t -> Trace.record t (f ()) in
     (* Killing a peer: mark dead and unwind its blocked fiber if any. *)
     let kill p =
       if p.alive then begin
         p.alive <- false;
-        tr (fun () -> Trace.Crashed { time = !clock; peer = p.id });
+        if trace_on then tr (fun () -> Trace.Crashed { time = clock.(0); peer = p.id });
         match p.wait with
         | Idle -> ()
         | On_receive k ->
@@ -152,12 +164,13 @@ module Make (M : MESSAGE) = struct
       let effc : type a. a Effect.t -> ((a, unit) continuation -> unit) option = function
         | E_me -> Some (fun k -> continue k p.id)
         | E_k -> Some (fun k -> continue k cfg.k)
-        | E_now -> Some (fun k -> continue k !clock)
+        | E_now -> Some (fun k -> continue k clock.(0))
         | E_rng -> Some (fun k -> continue k p.prng)
         | E_note text ->
           Some
             (fun k ->
-              tr (fun () -> Trace.Note { time = !clock; peer = p.id; text });
+              if trace_on then
+                tr (fun () -> Trace.Note { time = clock.(0); peer = p.id; text });
               continue k ())
         | E_send (dst, msg) ->
           Some
@@ -168,33 +181,36 @@ module Make (M : MESSAGE) = struct
                 (* [After_sends j] lets exactly [j] sends complete; the peer
                    dies attempting the next one, so that send is lost. *)
                 let crash_now =
-                  match cfg.crash p.id with
+                  match Array.unsafe_get crash_spec p.id with
                   | After_sends j -> p.sends >= j
                   | Never | At_time _ | After_queries _ -> false
                 in
                 if crash_now then begin
                   p.alive <- false;
-                  tr (fun () -> Trace.Crashed { time = !clock; peer = p.id });
+                  if trace_on then
+                    tr (fun () -> Trace.Crashed { time = clock.(0); peer = p.id });
                   discontinue k Crashed
                 end
                 else begin
                   let size_bits = M.size_bits msg in
-                  let delay = cfg.latency ~src:p.id ~dst ~time:!clock ~size_bits in
+                  let delay = cfg.latency ~src:p.id ~dst ~time:clock.(0) ~size_bits in
                   if not (delay >= 0.) then
                     discontinue k (Invalid_argument "Sim.run: negative latency")
                   else begin
                     Metrics.on_send metrics p.id ~size_bits;
-                    tr (fun () ->
-                        Trace.Sent { time = !clock; src = p.id; dst; size_bits; tag = M.tag msg });
+                    if trace_on then
+                      tr (fun () ->
+                          Trace.Sent
+                            { time = clock.(0); src = p.id; dst; size_bits; tag = M.tag msg });
                     let arrival =
-                      if cfg.link_rate = infinity then !clock +. delay
+                      if not serialized then clock.(0) +. delay
                       else begin
                         let free =
                           match Hashtbl.find_opt link_free (p.id, dst) with
                           | Some f -> f
                           | None -> 0.
                         in
-                        let departure = Float.max !clock free in
+                        let departure = Float.max clock.(0) free in
                         let transmission = float_of_int size_bits /. cfg.link_rate in
                         Hashtbl.replace link_free (p.id, dst) (departure +. transmission);
                         departure +. transmission +. delay
@@ -209,7 +225,7 @@ module Make (M : MESSAGE) = struct
         | E_receive ->
           Some
             (fun k ->
-              if not (Queue.is_empty p.mailbox) then continue k (Queue.pop p.mailbox)
+              if not (Ring.is_empty p.mailbox) then continue k (Ring.pop p.mailbox)
               else p.wait <- On_receive k)
         | E_query i ->
           Some
@@ -217,23 +233,26 @@ module Make (M : MESSAGE) = struct
               Metrics.on_query metrics p.id;
               p.queries <- p.queries + 1;
               let value = cfg.query_bit ~peer:p.id i in
-              tr (fun () -> Trace.Queried { time = !clock; peer = p.id; index = i; value });
+              if trace_on then
+                tr (fun () -> Trace.Queried { time = clock.(0); peer = p.id; index = i; value });
               let crash_now =
-                match cfg.crash p.id with
+                match Array.unsafe_get crash_spec p.id with
                 | After_queries j -> p.queries >= j
                 | Never | At_time _ | After_sends _ -> false
               in
               if crash_now then begin
                 p.alive <- false;
-                tr (fun () -> Trace.Crashed { time = !clock; peer = p.id });
+                if trace_on then
+                  tr (fun () -> Trace.Crashed { time = clock.(0); peer = p.id });
                 discontinue k Crashed
               end
               else begin
-                let delay = cfg.query_latency ~peer:p.id ~time:!clock in
+                let delay = cfg.query_latency ~peer:p.id ~time:clock.(0) in
                 if delay <= 0. then continue k value
                 else begin
                   p.wait <- On_query_reply k;
-                  Heap.push heap ~time:(!clock +. delay) (Ev_query_reply { peer = p.id; value })
+                  Heap.push heap ~time:(clock.(0) +. delay)
+                    (Ev_query_reply { peer = p.id; value })
                 end
               end)
         | E_sleep d ->
@@ -242,7 +261,7 @@ module Make (M : MESSAGE) = struct
               if not (d >= 0.) then discontinue k (Invalid_argument "Sim.sleep: negative")
               else begin
                 p.wait <- On_wake k;
-                Heap.push heap ~time:(!clock +. d) (Ev_wake p.id)
+                Heap.push heap ~time:(clock.(0) +. d) (Ev_wake p.id)
               end)
         | _ -> None
       in
@@ -259,39 +278,40 @@ module Make (M : MESSAGE) = struct
       Effect.Deep.match_with
         (fun () ->
           let out = proc p.id in
-          outputs.(p.id) <- Some (!clock, out);
+          outputs.(p.id) <- Some (clock.(0), out);
           p.finished <- true;
-          tr (fun () -> Trace.Terminated { time = !clock; peer = p.id }))
+          if trace_on then tr (fun () -> Trace.Terminated { time = clock.(0); peer = p.id }))
         () (handler_for p)
     in
     (* Seed the schedule: starts and timed crashes. *)
     Array.iter
       (fun p ->
         Heap.push heap ~time:(cfg.start_time p.id) (Ev_start p.id);
-        match cfg.crash p.id with
+        match crash_spec.(p.id) with
         | At_time t0 -> Heap.push heap ~time:t0 (Ev_crash p.id)
         | Never | After_sends _ | After_queries _ -> ())
       peers;
     let status = ref Completed in
     let handle = function
       | Ev_start i ->
-        let p = peers.(i) in
+        let p = Array.unsafe_get peers i in
         if p.alive then start_fiber p
       | Ev_deliver { dst; src; msg } ->
-        let p = peers.(dst) in
+        let p = Array.unsafe_get peers dst in
         if p.alive && not p.finished then begin
           Metrics.on_receive metrics dst;
-          tr (fun () -> Trace.Delivered { time = !clock; src; dst; tag = M.tag msg });
+          if trace_on then
+            tr (fun () -> Trace.Delivered { time = clock.(0); src; dst; tag = M.tag msg });
           match p.wait with
           | On_receive k ->
             p.wait <- Idle;
             Metrics.on_wakeup metrics dst;
             Effect.Deep.continue k (src, msg)
-          | Idle | On_query_reply _ | On_wake _ -> Queue.push (src, msg) p.mailbox
+          | Idle | On_query_reply _ | On_wake _ -> Ring.push p.mailbox (src, msg)
         end
       | Ev_crash i -> kill peers.(i)
       | Ev_query_reply { peer; value } ->
-        let p = peers.(peer) in
+        let p = Array.unsafe_get peers peer in
         if p.alive then begin
           match p.wait with
           | On_query_reply k ->
@@ -300,7 +320,7 @@ module Make (M : MESSAGE) = struct
           | Idle | On_receive _ | On_wake _ -> ()
         end
       | Ev_wake i ->
-        let p = peers.(i) in
+        let p = Array.unsafe_get peers i in
         if p.alive then begin
           match p.wait with
           | On_wake k ->
@@ -309,13 +329,37 @@ module Make (M : MESSAGE) = struct
           | Idle | On_receive _ | On_query_reply _ -> ()
         end
     in
-    (* Under an arbiter, events live in a plain list and the arbiter picks
-       which fires next; times are purely decorative (monotone counter). *)
-    let pending : event list ref = ref [] in
-    let next_event () =
-      match cfg.arbiter with
-      | None -> Heap.pop heap
-      | Some choose ->
+    let deadlock_check () =
+      let blocked =
+        Array.to_list peers
+        |> List.filter_map (fun p -> if p.alive && not p.finished then Some p.id else None)
+      in
+      if blocked <> [] then begin
+        if trace_on then tr (fun () -> Trace.Deadlocked { time = clock.(0); blocked });
+        status := Deadlock blocked
+      end
+    in
+    (match cfg.arbiter with
+    | None ->
+      (* Hot path: pull straight off the heap with no option/tuple boxing. *)
+      let max_events = cfg.max_events in
+      let rec loop () =
+        if !events_done >= max_events then status := Event_limit_reached
+        else if Heap.is_empty heap then deadlock_check ()
+        else begin
+          clock.(0) <- Heap.min_time heap;
+          let ev = Heap.pop_min heap in
+          incr events_done;
+          handle ev;
+          loop ()
+        end
+      in
+      loop ()
+    | Some choose ->
+      (* Under an arbiter, events live in a plain list and the arbiter picks
+         which fires next; times are purely decorative (monotone counter). *)
+      let pending : event list ref = ref [] in
+      let next_event () =
         (* Drain freshly scheduled events from the heap into the pool. *)
         let rec drain () =
           match Heap.pop heap with
@@ -332,29 +376,26 @@ module Make (M : MESSAGE) = struct
           let idx = if idx < 0 || idx >= count then 0 else idx in
           let ev = List.nth !pending idx in
           pending := List.filteri (fun i _ -> i <> idx) !pending;
-          Some (!clock +. 1., ev)
+          Some ev
         end
-    in
-    let rec loop () =
-      if !events_done >= cfg.max_events then status := Event_limit_reached
-      else
-        match next_event () with
-        | None ->
-          let blocked =
-            Array.to_list peers
-            |> List.filter_map (fun p ->
-                   if p.alive && not p.finished then Some p.id else None)
-          in
-          if blocked <> [] then begin
-            tr (fun () -> Trace.Deadlocked { time = !clock; blocked });
-            status := Deadlock blocked
-          end
-        | Some (t, ev) ->
-          clock := t;
-          incr events_done;
-          handle ev;
-          loop ()
-    in
-    loop ();
-    { outputs; metrics; status = !status; end_time = !clock }
+      in
+      let rec loop () =
+        if !events_done >= cfg.max_events then status := Event_limit_reached
+        else
+          match next_event () with
+          | None -> deadlock_check ()
+          | Some ev ->
+            clock.(0) <- clock.(0) +. 1.;
+            incr events_done;
+            handle ev;
+            loop ()
+      in
+      loop ());
+    {
+      outputs;
+      metrics;
+      status = !status;
+      end_time = clock.(0);
+      events = !events_done;
+    }
 end

@@ -88,6 +88,7 @@ type 'r outcome = {
   metrics : Metrics.t;
   status : status;
   end_time : float;  (** time of the last processed event *)
+  events : int;  (** total events processed — the bench harness's work unit *)
 }
 
 module Make (M : MESSAGE) : sig

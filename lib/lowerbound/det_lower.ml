@@ -69,16 +69,13 @@ let demonstrate ~(run : runner) ?(victim = 0) ?f_set ?(seed = 1L) ?b ~k ~n () =
         let in_f i = List.mem i f_set in
         let is_corrupt i = List.mem i corrupted in
         let opts2 =
-          {
-            Exec.default with
-            Exec.latency = Latency.targeted ~slow:in_f ~delay:stall;
-            trace = Some trace2;
-            query_override =
-              Some
-                (fun ~peer i ->
-                  if is_corrupt peer then false (* the simulated all-zeros source *)
-                  else Bitarray.get x2 i);
-          }
+          Exec.make_opts
+            ~latency:(Latency.targeted ~slow:in_f ~delay:stall)
+            ~trace:trace2
+            ~query_override:(fun ~peer i ->
+              if is_corrupt peer then false (* the simulated all-zeros source *)
+              else Bitarray.get x2 i)
+            ()
         in
         let e2 = run ~opts:opts2 inst2 in
         let victim_fooled = List.mem victim e2.Problem.wrong in

@@ -37,14 +37,12 @@ let attack ~(run : runner) ?(victim = 0) ?f_count ?(hidden = `Uniform) ~k ~n ~se
       let inst = Problem.make ~seed ~model:Problem.Byzantine ~k ~x fault in
       let trace = Trace.create () in
       let opts =
-        {
-          Exec.default with
-          Exec.latency = Latency.targeted ~slow:in_f ~delay:1e6;
-          trace = Some trace;
-          query_override =
-            Some
-              (fun ~peer i -> if is_corrupt peer then false else Bitarray.get x i);
-        }
+        Exec.make_opts
+          ~latency:(Latency.targeted ~slow:in_f ~delay:1e6)
+          ~trace
+          ~query_override:(fun ~peer i ->
+            if is_corrupt peer then false else Bitarray.get x i)
+          ()
       in
       let report = run ~opts inst in
       if List.mem victim report.Problem.wrong then incr failures;

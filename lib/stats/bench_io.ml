@@ -1,0 +1,245 @@
+type bench = {
+  name : string;
+  unit_ : string;
+  runs : int;
+  median : float;
+  iqr_lo : float;
+  iqr_hi : float;
+}
+
+type file = { suite : string; benches : bench list }
+
+let schema_id = "dr-bench/1"
+
+(* ------------------------------------------------------------------ *)
+(* Quantiles                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = max 0 (min (n - 2) (int_of_float pos)) in
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(lo + 1) *. frac)
+  end
+
+let quantiles samples =
+  if samples = [] then invalid_arg "Bench_io.quantiles: empty sample";
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  (quantile a 0.25, quantile a 0.5, quantile a 0.75)
+
+let of_samples ~name ~unit_ samples =
+  let iqr_lo, median, iqr_hi = quantiles samples in
+  { name; unit_; runs = List.length samples; median; iqr_lo; iqr_hi }
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_field f =
+  (* %.17g round-trips every float; normalize nan/inf (not expected) to 0. *)
+  if Float.is_nan f || f = infinity || f = neg_infinity then "0"
+  else Printf.sprintf "%.17g" f
+
+let to_json { suite; benches } =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"schema\": \"%s\",\n" schema_id);
+  Buffer.add_string b (Printf.sprintf "  \"suite\": \"%s\",\n" (escape suite));
+  Buffer.add_string b "  \"benches\": [";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n    { \"name\": \"%s\", \"unit\": \"%s\", \"runs\": %d, \"median\": %s, \
+            \"iqr_lo\": %s, \"iqr_hi\": %s }"
+           (escape r.name) (escape r.unit_) r.runs (float_field r.median)
+           (float_field r.iqr_lo) (float_field r.iqr_hi)))
+    benches;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON parser (objects, arrays, strings, numbers)            *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | J_obj of (string * json) list
+  | J_arr of json list
+  | J_str of string
+  | J_num of float
+
+type cursor = { src : string; mutable pos : int }
+
+let fail c msg = failwith (Printf.sprintf "Bench_io.of_json: %s at byte %d" msg c.pos)
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.src
+    && match c.src.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  skip_ws c;
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | _ -> fail c (Printf.sprintf "expected %C" ch)
+
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    if c.pos >= String.length c.src then fail c "unterminated string";
+    match c.src.[c.pos] with
+    | '"' -> c.pos <- c.pos + 1
+    | '\\' ->
+      if c.pos + 1 >= String.length c.src then fail c "bad escape";
+      (match c.src.[c.pos + 1] with
+      | '"' -> Buffer.add_char b '"'
+      | '\\' -> Buffer.add_char b '\\'
+      | 'n' -> Buffer.add_char b '\n'
+      | 't' -> Buffer.add_char b '\t'
+      | ch -> fail c (Printf.sprintf "unsupported escape \\%c" ch));
+      c.pos <- c.pos + 2;
+      go ()
+    | ch ->
+      Buffer.add_char b ch;
+      c.pos <- c.pos + 1;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let is_num ch =
+    (ch >= '0' && ch <= '9') || ch = '-' || ch = '+' || ch = '.' || ch = 'e' || ch = 'E'
+  in
+  while c.pos < String.length c.src && is_num c.src.[c.pos] do
+    c.pos <- c.pos + 1
+  done;
+  if c.pos = start then fail c "expected number";
+  match float_of_string_opt (String.sub c.src start (c.pos - start)) with
+  | Some f -> f
+  | None -> fail c "malformed number"
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | Some '{' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      c.pos <- c.pos + 1;
+      J_obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws c;
+        let key = parse_string c in
+        expect c ':';
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          c.pos <- c.pos + 1;
+          members ((key, v) :: acc)
+        | Some '}' ->
+          c.pos <- c.pos + 1;
+          List.rev ((key, v) :: acc)
+        | _ -> fail c "expected ',' or '}'"
+      in
+      J_obj (members [])
+    end
+  | Some '[' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      c.pos <- c.pos + 1;
+      J_arr []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          c.pos <- c.pos + 1;
+          items (v :: acc)
+        | Some ']' ->
+          c.pos <- c.pos + 1;
+          List.rev (v :: acc)
+        | _ -> fail c "expected ',' or ']'"
+      in
+      J_arr (items [])
+    end
+  | Some '"' -> J_str (parse_string c)
+  | Some _ -> J_num (parse_number c)
+  | None -> fail c "unexpected end of input"
+
+let member obj key =
+  match obj with
+  | J_obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let str_member c obj key =
+  match member obj key with Some (J_str s) -> s | _ -> fail c ("missing string field " ^ key)
+
+let num_member c obj key =
+  match member obj key with Some (J_num f) -> f | _ -> fail c ("missing number field " ^ key)
+
+let of_json text =
+  let c = { src = text; pos = 0 } in
+  let root = parse_value c in
+  let schema = str_member c root "schema" in
+  if schema <> schema_id then
+    failwith (Printf.sprintf "Bench_io.of_json: unsupported schema %S (want %S)" schema schema_id);
+  let suite = str_member c root "suite" in
+  let benches =
+    match member root "benches" with
+    | Some (J_arr items) ->
+      List.map
+        (fun item ->
+          {
+            name = str_member c item "name";
+            unit_ = str_member c item "unit";
+            runs = int_of_float (num_member c item "runs");
+            median = num_member c item "median";
+            iqr_lo = num_member c item "iqr_lo";
+            iqr_hi = num_member c item "iqr_hi";
+          })
+        items
+    | _ -> fail c "missing benches array"
+  in
+  { suite; benches }
+
+let write ~path file =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_json file))
+
+let read path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_json (really_input_string ic (in_channel_length ic)))
+
+let find file name = List.find_opt (fun b -> b.name = name) file.benches

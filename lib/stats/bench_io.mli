@@ -1,0 +1,54 @@
+(** Machine-readable benchmark records: the [BENCH_*.json] schema.
+
+    The continuous benchmark harness ({!page-index} [bench/bench_regress.ml])
+    writes one file per suite; [dr_bench_diff] reads two back and fails on
+    regression. The schema is deliberately tiny:
+
+    {v
+    {
+      "schema": "dr-bench/1",
+      "suite": "engine",
+      "benches": [
+        { "name": "engine/message-storm",
+          "unit": "events_per_sec",
+          "runs": 7,
+          "median": 1234567.0,
+          "iqr_lo": 1200000.0,
+          "iqr_hi": 1300000.0 }
+      ]
+    }
+    v}
+
+    All rates are throughputs (higher is better). The writer and parser below
+    round-trip exactly this subset of JSON — no external JSON dependency. *)
+
+type bench = {
+  name : string;
+  unit_ : string;  (** e.g. ["events_per_sec"], ["sims_per_sec"] *)
+  runs : int;  (** sample count the quantiles were computed over *)
+  median : float;
+  iqr_lo : float;  (** 25th percentile *)
+  iqr_hi : float;  (** 75th percentile *)
+}
+
+type file = { suite : string; benches : bench list }
+
+val quantiles : float list -> float * float * float
+(** [(q25, median, q75)] of a non-empty sample, by linear interpolation.
+    Raises [Invalid_argument] on an empty list. *)
+
+val of_samples : name:string -> unit_:string -> float list -> bench
+(** Summarize one bench's samples into a record. *)
+
+val to_json : file -> string
+(** Render the schema above (stable field order, ["%.17g"] floats). *)
+
+val of_json : string -> file
+(** Parse a file produced by {!to_json} (accepts any whitespace). Raises
+    [Failure] with a position on malformed input or a schema mismatch. *)
+
+val write : path:string -> file -> unit
+val read : string -> file
+
+val find : file -> string -> bench option
+(** Look a bench up by name. *)

@@ -336,12 +336,11 @@ let test_combined_adversary_committee () =
   let inst = byz_instance ~seed:41L ~k:9 ~n:360 ~t:4 () in
   let fast i = Fault.is_faulty inst.Problem.fault i in
   let opts =
-    {
-      Exec.default with
-      Exec.latency = Latency.rushing ~fast ~eps:0.01;
-      link_rate = float_of_int inst.Problem.b;
-      start_time = (fun i -> float_of_int (i mod 3) *. 0.4);
-    }
+    Exec.make_opts
+      ~latency:(Latency.rushing ~fast ~eps:0.01)
+      ~link_rate:(float_of_int inst.Problem.b)
+      ~start_time:(fun i -> float_of_int (i mod 3) *. 0.4)
+      ()
   in
   assert_ok "combined adversary" (Committee.run_with ~opts ~attack:Committee.Collude inst)
 

@@ -167,6 +167,112 @@ let test_heap_random_order_matches_sort () =
   Array.sort compare sorted;
   check Alcotest.(list (float 0.0)) "heap sorts" (Array.to_list sorted) (List.rev !out)
 
+let test_heap_pop_min_matches_pop () =
+  let g = Prng.create 29L in
+  let times = Array.init 300 (fun _ -> Prng.float g 10.) in
+  let mk () =
+    let h = Heap.create () in
+    Array.iteri (fun i t -> Heap.push h ~time:t i) times;
+    h
+  in
+  (* Same pushes through both drains must give the same sequence. *)
+  let a = mk () and b = mk () in
+  while not (Heap.is_empty a) do
+    let t = Heap.min_time a in
+    let v = Heap.pop_min a in
+    match Heap.pop b with
+    | Some (t', v') ->
+      check Alcotest.(float 0.0) "min_time = pop time" t' t;
+      checki "pop_min = pop value" v' v
+    | None -> Alcotest.fail "b drained early"
+  done;
+  checkb "b drained" true (Heap.is_empty b)
+
+let test_heap_grow_preserves_order () =
+  (* Push far past the initial capacity; order must survive every grow. *)
+  let h = Heap.create () in
+  for i = 999 downto 0 do
+    Heap.push h ~time:(float_of_int i) i
+  done;
+  checki "size" 1000 (Heap.size h);
+  for i = 0 to 999 do
+    checki "ascending" i (Heap.pop_min h)
+  done
+
+let test_heap_reuse_after_clear () =
+  let h = Heap.create () in
+  for i = 0 to 99 do
+    Heap.push h ~time:(float_of_int (100 - i)) i
+  done;
+  Heap.clear h;
+  (* Ties after clear: seq keeps counting, insertion order still wins. *)
+  for i = 0 to 49 do
+    Heap.push h ~time:3. i
+  done;
+  for i = 0 to 49 do
+    checki "fifo after clear" i (Heap.pop_min h)
+  done
+
+let test_heap_empty_accessors_raise () =
+  let h : int Heap.t = Heap.create () in
+  Alcotest.check_raises "min_time" (Invalid_argument "Heap.min_time: empty") (fun () ->
+      ignore (Heap.min_time h));
+  Alcotest.check_raises "pop_min" (Invalid_argument "Heap.pop_min: empty") (fun () ->
+      ignore (Heap.pop_min h))
+
+(* ------------------------------------------------------------------ *)
+(* Ring                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_fifo () =
+  let r = Ring.create () in
+  checkb "starts empty" true (Ring.is_empty r);
+  for i = 0 to 9 do
+    Ring.push r i
+  done;
+  checki "length" 10 (Ring.length r);
+  for i = 0 to 9 do
+    checki "fifo order" i (Ring.pop r)
+  done;
+  checkb "drained" true (Ring.is_empty r)
+
+let test_ring_wraps_and_grows () =
+  (* Interleave pushes and pops so head walks around the circle, then grow
+     with the live region wrapped. *)
+  let r = Ring.create () in
+  let next_in = ref 0 and next_out = ref 0 in
+  for _ = 1 to 5 do
+    for _ = 1 to 7 do
+      Ring.push r !next_in;
+      incr next_in
+    done;
+    for _ = 1 to 5 do
+      checki "wrap order" !next_out (Ring.pop r);
+      incr next_out
+    done
+  done;
+  for _ = 1 to 100 do
+    Ring.push r !next_in;
+    incr next_in
+  done;
+  while not (Ring.is_empty r) do
+    checki "post-grow order" !next_out (Ring.pop r);
+    incr next_out
+  done;
+  checki "nothing lost" !next_in !next_out
+
+let test_ring_clear_and_reuse () =
+  let r = Ring.create () in
+  for i = 0 to 20 do
+    Ring.push r i
+  done;
+  Ring.clear r;
+  checkb "empty after clear" true (Ring.is_empty r);
+  Ring.push r 7;
+  checki "usable after clear" 7 (Ring.pop r);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Ring.pop: empty") (fun () ->
+      ignore (Ring.pop r))
+
 (* ------------------------------------------------------------------ *)
 (* Sim                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -624,6 +730,35 @@ let test_metrics_summary_selection () =
   checki "selected max" 1 only2.Metrics.max_queries;
   checki "selected msgs" 0 only2.Metrics.total_msgs
 
+let test_metrics_receives_and_wakeups () =
+  let m = Metrics.create 3 in
+  Metrics.on_receive m 0;
+  Metrics.on_receive m 0;
+  Metrics.on_wakeup m 0;
+  Metrics.on_receive m 1;
+  Metrics.on_wakeup m 1;
+  Metrics.on_wakeup m 1;
+  Metrics.on_wakeup m 1;
+  checki "peer0 receives" 2 (Metrics.peer m 0).Metrics.msgs_received;
+  checki "peer1 wakeups" 3 (Metrics.peer m 1).Metrics.wakeups;
+  checki "max wakeups (all)" 3 (Metrics.summarize m).Metrics.max_wakeups;
+  checki "max wakeups (without 1)" 1
+    (Metrics.summarize ~select:(fun i -> i <> 1) m).Metrics.max_wakeups;
+  (* [peer] is a snapshot: mutating it must not write back. *)
+  let p = Metrics.peer m 0 in
+  p.Metrics.wakeups <- 99;
+  checki "snapshot detached" 1 (Metrics.peer m 0).Metrics.wakeups
+
+let test_metrics_max_msg_bits_per_peer () =
+  let m = Metrics.create 2 in
+  Metrics.on_send m 0 ~size_bits:10;
+  Metrics.on_send m 0 ~size_bits:500;
+  Metrics.on_send m 0 ~size_bits:20;
+  Metrics.on_send m 1 ~size_bits:900;
+  checki "peer0 max" 500 (Metrics.peer m 0).Metrics.max_msg_bits;
+  checki "summary max excludes deselected" 500
+    (Metrics.summarize ~select:(fun i -> i = 0) m).Metrics.max_msg_bits
+
 let suite =
   [
     ("prng deterministic", `Quick, test_prng_deterministic);
@@ -641,6 +776,13 @@ let suite =
     ("heap interleaved ops", `Quick, test_heap_interleaved);
     ("heap clear", `Quick, test_heap_clear);
     ("heap matches sort", `Quick, test_heap_random_order_matches_sort);
+    ("heap pop_min matches pop", `Quick, test_heap_pop_min_matches_pop);
+    ("heap grow preserves order", `Quick, test_heap_grow_preserves_order);
+    ("heap reuse after clear", `Quick, test_heap_reuse_after_clear);
+    ("heap empty accessors raise", `Quick, test_heap_empty_accessors_raise);
+    ("ring fifo", `Quick, test_ring_fifo);
+    ("ring wraps and grows", `Quick, test_ring_wraps_and_grows);
+    ("ring clear and reuse", `Quick, test_ring_clear_and_reuse);
     ("sim ping-pong", `Quick, test_sim_pingpong);
     ("sim query", `Quick, test_sim_query);
     ("sim query metrics", `Quick, test_sim_query_metrics);
@@ -666,4 +808,6 @@ let suite =
     ("trace save/load roundtrip", `Quick, test_trace_save_load_roundtrip);
     ("trace load rejects garbage", `Quick, test_trace_load_rejects_garbage);
     ("metrics summary selection", `Quick, test_metrics_summary_selection);
+    ("metrics receives and wakeups", `Quick, test_metrics_receives_and_wakeups);
+    ("metrics per-peer max msg", `Quick, test_metrics_max_msg_bits_per_peer);
   ]

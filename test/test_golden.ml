@@ -71,6 +71,24 @@ let test_multicycle () =
     (Byz_multicycle.run_with ~opts:(jitter_only ()) ~attack:Byz_multicycle.Near_miss ~segments:2
        (byz_big ()))
 
+(* Full-report determinism: two runs with identical seeds/opts must agree on
+   every field of the report (not just the pinned Q/T/M numbers above). Runs
+   go through Registry.run so the uniform dispatch path is covered too. *)
+
+let registry_run name ?segments ~attack inst =
+  (Registry.find_exn name).Registry.run ~opts:(jitter_only ()) ~attack ?segments inst
+
+let test_determinism_2cycle () =
+  let run () = registry_run "byz-2cycle" ~segments:2 ~attack:"nearmiss" (byz_big ()) in
+  checkb "identical reports" true (run () = run ())
+
+let test_determinism_crash_general () =
+  let run () =
+    let inst = crash () in
+    (Registry.find_exn "crash-general").Registry.run ~opts:(jopts inst) inst
+  in
+  checkb "identical reports" true (run () = run ())
+
 let suite =
   [
     ("golden: naive", `Quick, test_naive);
@@ -80,4 +98,6 @@ let suite =
     ("golden: byz-committee", `Quick, test_committee);
     ("golden: byz-2cycle", `Quick, test_2cycle);
     ("golden: byz-multicycle", `Quick, test_multicycle);
+    ("determinism: byz-2cycle full report", `Quick, test_determinism_2cycle);
+    ("determinism: crash-general full report", `Quick, test_determinism_crash_general);
   ]

@@ -173,7 +173,7 @@ let test_dynamic_data_breaks_download_odc () =
     (* After a while, the source updates the first quarter of the array. *)
     if !queries_so_far > 60 && i < n / 4 then not original else original
   in
-  let opts = { Exec.default with Exec.query_override = Some dynamic; max_events = 200_000 } in
+  let opts = Exec.make_opts ~query_override:dynamic ~max_events:200_000 () in
   let r = Committee.run_with ~opts ~attack:Committee.Honest_but_silent inst in
   checkb "dynamic data defeats the static-source protocol" false r.Dr_core.Problem.ok
 

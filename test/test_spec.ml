@@ -7,20 +7,59 @@ module Crash_plan = Dr_adversary.Crash_plan
 module Prng = Dr_engine.Prng
 
 let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+let checki = Alcotest.(check int)
 
 let test_spec_covers_registry () =
+  (* Each entry's spec names its own protocol, and lookup round-trips. *)
   List.iter
-    (fun (module P : Exec.PROTOCOL) ->
-      checkb (P.name ^ " has a spec") true (Spec.find P.name <> None))
-    Select.all;
+    (fun e ->
+      checks (Registry.name e ^ " spec name") (Registry.name e) e.Registry.spec.Spec.protocol;
+      checkb (Registry.name e ^ " spec lookup") true
+        (Registry.spec_of (Registry.name e) <> None))
+    Registry.all;
   checkb "no orphan specs" true
-    (List.for_all (fun b -> Select.by_name b.Spec.protocol <> None) Spec.all)
+    (List.for_all (fun b -> Select.by_name b.Spec.protocol <> None) Registry.specs)
+
+let test_registry_entries () =
+  checki "seven entries" 7 (List.length Registry.all);
+  checkb "unique names" true
+    (List.sort_uniq compare Registry.names = List.sort compare Registry.names);
+  let two = Registry.find_exn "byz-2cycle" in
+  checkb "2cycle is Byzantine" true (two.Registry.model = Problem.Byzantine);
+  checkb "2cycle randomized" true (Registry.randomized two);
+  checkb "2cycle beta sup 1/2" true (two.Registry.beta_sup = 0.5);
+  let cg = Registry.find_exn "crash-general" in
+  checkb "crash-general is Crash" true (cg.Registry.model = Problem.Crash);
+  checkb "crash-general deterministic" false (Registry.randomized cg);
+  checkb "unknown name" true (Registry.find "nope" = None);
+  let inst = Problem.random_instance ~seed:2L ~k:8 ~n:128 ~t:2 () in
+  checkb "admits delegates to supports" true (Registry.admits cg inst = Ok ())
+
+let test_registry_attack_dispatch () =
+  let byz = Problem.random_instance ~seed:9L ~model:Problem.Byzantine ~k:9 ~n:256 ~t:2 () in
+  let committee = Registry.find_exn "byz-committee" in
+  checkb "committee silent attack runs" true
+    (committee.Registry.run ~attack:"silent" byz).Problem.ok;
+  (match committee.Registry.run ~attack:"bogus" byz with
+  | _ -> Alcotest.fail "expected Failure on unknown attack"
+  | exception Failure _ -> ());
+  let two = Registry.find_exn "byz-2cycle" in
+  (* The lie attack may legitimately defeat a tiny segment count; the check
+     here is that the attack name reaches the right protocol. *)
+  checks "2cycle lie attack dispatches" "byz-2cycle"
+    (two.Registry.run ~attack:"lie" ~segments:2 byz).Problem.protocol;
+  (* Protocols without an attack surface ignore the attack name, as the CLI
+     always has. *)
+  let crash = Problem.random_instance ~seed:9L ~k:8 ~n:256 ~t:2 () in
+  checkb "crash-general ignores attack" true
+    ((Registry.find_exn "crash-general").Registry.run ~attack:"flip" crash).Problem.ok
 
 let test_resilience_matches_supports () =
   (* Spec.resilience and PROTOCOL.supports must agree across a grid. *)
   List.iter
     (fun (module P : Exec.PROTOCOL) ->
-      match Spec.find P.name with
+      match Registry.spec_of P.name with
       | None -> Alcotest.fail "missing spec"
       | Some b ->
         for k = 2 to 10 do
@@ -91,6 +130,8 @@ let test_bound_is_not_vacuous () =
 let suite =
   [
     ("spec covers the registry", `Quick, test_spec_covers_registry);
+    ("registry entries are coherent", `Quick, test_registry_entries);
+    ("registry attack dispatch", `Quick, test_registry_attack_dispatch);
     ("resilience matches supports", `Quick, test_resilience_matches_supports);
     ("crash-general bound holds live", `Quick, test_bounds_hold_on_live_runs);
     ("committee bound holds live", `Quick, test_bounds_hold_committee);

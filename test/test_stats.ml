@@ -202,6 +202,64 @@ let test_printers_smoke () =
   checkb "metrics pp" true
     (String.length (Format.asprintf "%a" Dr_engine.Metrics.pp_summary summary) > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Bench_io (BENCH_*.json schema)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_bench_io_quantiles () =
+  let q25, med, q75 = Bench_io.quantiles [ 4.; 1.; 3.; 2. ] in
+  checkf 1e-9 "q25" 1.75 q25;
+  checkf 1e-9 "median" 2.5 med;
+  checkf 1e-9 "q75" 3.25 q75;
+  let q25, med, q75 = Bench_io.quantiles [ 42. ] in
+  checkf 1e-9 "single q25" 42. q25;
+  checkf 1e-9 "single median" 42. med;
+  checkf 1e-9 "single q75" 42. q75;
+  Alcotest.check_raises "empty" (Invalid_argument "Bench_io.quantiles: empty sample")
+    (fun () -> ignore (Bench_io.quantiles []))
+
+let test_bench_io_roundtrip () =
+  let b1 = Bench_io.of_samples ~name:"engine/storm" ~unit_:"events_per_sec" [ 10.; 30.; 20. ] in
+  checki "runs" 3 b1.Bench_io.runs;
+  checkf 1e-9 "median" 20. b1.Bench_io.median;
+  let file =
+    {
+      Bench_io.suite = "engine";
+      benches =
+        [
+          b1;
+          {
+            Bench_io.name = "engine/other";
+            unit_ = "sims_per_sec";
+            runs = 5;
+            median = 123456.789;
+            iqr_lo = 120000.5;
+            iqr_hi = 130000.25;
+          };
+        ];
+    }
+  in
+  let back = Bench_io.of_json (Bench_io.to_json file) in
+  checkb "roundtrip exact" true (back = file);
+  checkb "find hit" true (Bench_io.find back "engine/other" <> None);
+  checkb "find miss" true (Bench_io.find back "nope" = None);
+  let path = Filename.temp_file "dr_bench" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Bench_io.write ~path file;
+      checkb "file roundtrip" true (Bench_io.read path = file))
+
+let test_bench_io_rejects_garbage () =
+  checkb "garbage rejected" true
+    (match Bench_io.of_json "{ \"schema\": \"nope\" }" with
+    | _ -> false
+    | exception Failure _ -> true);
+  checkb "truncated rejected" true
+    (match Bench_io.of_json "{ \"schema\": \"dr-bench/1\", \"suite\": \"x\"" with
+    | _ -> false
+    | exception Failure _ -> true)
+
 let test_lanes_smoke () =
   let trace = Dr_engine.Trace.create () in
   Dr_engine.Trace.record trace
@@ -234,6 +292,9 @@ let suite =
     ("par: runs simulations", `Quick, test_par_runs_simulations);
     ("select: regimes", `Quick, test_select_regimes);
     ("select: by name", `Quick, test_select_by_name);
+    ("bench_io: quantiles", `Quick, test_bench_io_quantiles);
+    ("bench_io: json roundtrip", `Quick, test_bench_io_roundtrip);
+    ("bench_io: rejects garbage", `Quick, test_bench_io_rejects_garbage);
     ("select: chosen protocol works", `Quick, test_selected_protocol_actually_works);
     ("printers smoke", `Quick, test_printers_smoke);
     ("lane view smoke", `Quick, test_lanes_smoke);
