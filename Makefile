@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-check bench-diff clean
+.PHONY: all build test bench bench-check bench-diff check check-smoke clean
 
 all: build
 
@@ -24,6 +24,17 @@ OLD ?= .
 bench-diff:
 	dune exec bin/dr_bench_diff.exe -- $(OLD)/BENCH_engine.json BENCH_engine.json
 	dune exec bin/dr_bench_diff.exe -- $(OLD)/BENCH_protocols.json BENCH_protocols.json
+
+# Model checker: schedule-fuzz every registry protocol against the invariant
+# oracle (agreement / termination / spec-bound). `make check` is the real
+# budget; check-smoke is the fast fixed-seed CI gate.
+BUDGET ?= 5000
+SEED ?= 1
+check:
+	dune exec bin/dr_check_main.exe -- --all --budget $(BUDGET) --seed $(SEED)
+
+check-smoke:
+	dune build @check-smoke
 
 clean:
 	dune clean

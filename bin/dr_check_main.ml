@@ -1,0 +1,150 @@
+(* dr_check: schedule-fuzzing model checker for the Download protocols.
+
+   Examples:
+     dr_check --protocol byz-2cycle --budget 50000 --seed 7
+     dr_check --all --budget 1000 --seed 1
+     dr_check --replay failure.repro.json
+
+   Each protocol is checked against a budgeted DFS prefix of the schedule
+   tree plus seeded random schedules over randomized scenarios (instance
+   parameters, attack names from the registry catalog, crash plans). Every
+   violation of the invariant oracle (agreement / termination / spec-bound)
+   is minimized to a locally minimal counterexample and can be written out
+   as a replayable .repro.json file.
+
+   Exit codes: 0 no violations (or repro reproduced), 1 violations found
+   (or repro diverged/vanished), 2 usage error. *)
+
+open Cmdliner
+module Check = Dr_check.Check
+module Repro = Dr_check.Repro
+module Registry = Dr_core.Registry
+
+let protocol_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "p"; "protocol" ] ~docv:"NAME"
+        ~doc:"Protocol to check (a registry name). Default: every registry protocol.")
+
+let all_arg =
+  Arg.(value & flag & info [ "all" ] ~doc:"Check every registry protocol (the default).")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt int 1000
+    & info [ "budget" ] ~docv:"N" ~doc:"Executions to spend per protocol (default 1000).")
+
+let dfs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "dfs" ] ~docv:"N"
+        ~doc:"Executions of the budget spent on the systematic DFS prefix (default budget/4).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Fuzzer seed (default 1).")
+
+let max_failures_arg =
+  Arg.(
+    value
+    & opt int 5
+    & info [ "max-failures" ] ~docv:"N"
+        ~doc:"Stop collecting after this many shrunk counterexamples (default 5).")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "out" ] ~docv:"DIR"
+        ~doc:"Write each counterexample as DIR/<protocol>-<i>.repro.json.")
+
+let replay_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:"Replay a .repro.json counterexample instead of fuzzing; verify that the \
+              recorded invariant fails at the recorded event index.")
+
+let write_failures out name failures =
+  match out with
+  | None -> ()
+  | Some dir ->
+    List.iteri
+      (fun i r ->
+        let path = Filename.concat dir (Printf.sprintf "%s-%d.repro.json" name i) in
+        Repro.write ~path r;
+        Fmt.pr "  wrote %s@." path)
+      failures
+
+let run_replay path =
+  match Repro.read path with
+  | exception Failure msg -> `Error (false, msg)
+  | repro ->
+    Fmt.pr "replaying %a@." Repro.pp repro;
+    (match Check.replay repro with
+    | Check.Reproduced v ->
+      Fmt.pr "reproduced: %a@." Dr_check.Invariant.pp_violation v;
+      `Ok 0
+    | Check.Diverged msg ->
+      Fmt.pr "DIVERGED: %s@." msg;
+      `Ok 1
+    | Check.Vanished ->
+      Fmt.pr "VANISHED: no invariant violated on replay@.";
+      `Ok 1)
+
+let run_fuzz protocol budget dfs_budget seed max_failures out =
+  let entries =
+    match protocol with
+    | None -> Ok Registry.all
+    | Some name ->
+      (match Registry.find name with
+      | Some e -> Ok [ e ]
+      | None ->
+        Error
+          (Printf.sprintf "unknown protocol %S (known: %s)" name
+             (String.concat ", " Registry.names)))
+  in
+  match entries with
+  | Error msg -> `Error (false, msg)
+  | Ok entries ->
+    let total = ref 0 in
+    List.iter
+      (fun entry ->
+        let target = Check.of_registry entry in
+        let outcome = Check.fuzz ?dfs_budget ~max_failures ~budget ~seed target in
+        Fmt.pr "%a@." Check.pp_outcome outcome;
+        write_failures out target.Check.name outcome.Check.failures;
+        total := !total + List.length outcome.Check.failures)
+      entries;
+    if !total = 0 then begin
+      Fmt.pr "dr_check: no violations@.";
+      `Ok 0
+    end
+    else begin
+      Fmt.pr "dr_check: %d violation(s)@." !total;
+      `Ok 1
+    end
+
+let run protocol _all budget dfs_budget seed max_failures out replay =
+  match replay with
+  | Some path -> run_replay path
+  | None -> run_fuzz protocol budget dfs_budget seed max_failures out
+
+let cmd =
+  Cmd.v
+    (Cmd.info "dr_check"
+       ~doc:"Schedule-fuzzing model checker with invariant oracle and counterexample shrinking")
+    Term.(
+      ret
+        (const run $ protocol_arg $ all_arg $ budget_arg $ dfs_arg $ seed_arg $ max_failures_arg
+       $ out_arg $ replay_arg))
+
+let () =
+  match Cmd.eval_value cmd with
+  | Ok (`Ok code) -> exit code
+  | Ok (`Version | `Help) -> exit 0
+  | Error `Parse | Error `Term -> exit 2
+  | Error `Exn -> exit 2

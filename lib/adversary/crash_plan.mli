@@ -29,3 +29,23 @@ val mid_broadcast : Fault.t -> after_sends:int -> t
 val after_queries : Fault.t -> int -> t
 (** Faulty peers die after issuing that many queries — they paid for data
     they will never share. *)
+
+(** {2 Serializable descriptors}
+
+    First-class, printable crash plans for tooling that must store and replay
+    fault schedules (the [dr_check] repro files). Only the event-counted
+    plans are representable: timed crashes are meaningless under a schedule
+    arbiter (see {!Dr_engine.Sim.arbiter}). *)
+
+type descriptor =
+  | No_crash
+  | Mid_broadcast of int  (** {!mid_broadcast} with that [after_sends] *)
+  | After_queries of int  (** {!after_queries} with that query count *)
+
+val apply : descriptor -> Fault.t -> t
+
+val descriptor_to_string : descriptor -> string
+(** ["none"], ["mid-broadcast:J"], ["after-queries:J"]. *)
+
+val descriptor_of_string : string -> descriptor option
+(** Inverse of {!descriptor_to_string}; [None] on anything else. *)

@@ -1,0 +1,267 @@
+module Sim = Dr_engine.Sim
+module Explore = Dr_engine.Explore
+module Prng = Dr_engine.Prng
+module Problem = Dr_core.Problem
+module Exec = Dr_core.Exec
+module Registry = Dr_core.Registry
+module Spec = Dr_core.Spec
+module Crash_plan = Dr_adversary.Crash_plan
+
+type target = {
+  name : string;
+  attacks : string list;
+  model : Problem.fault_model;
+  spec : Spec.bounds option;
+  pool : (int * int * int) list;
+  run :
+    attack:string ->
+    crash:Crash_plan.t ->
+    arbiter:Sim.arbiter ->
+    Problem.instance ->
+    Problem.report;
+}
+
+let default_pool entry model =
+  let candidates =
+    List.concat_map
+      (fun (k, n) -> List.init k (fun t -> (k, n, t)))
+      [ (2, 4); (3, 5); (4, 8); (5, 10) ]
+  in
+  List.filter
+    (fun (k, n, t) ->
+      let inst = Problem.random_instance ~seed:1L ~model ~k ~n ~t () in
+      Registry.admits entry inst = Ok ())
+    candidates
+
+let of_registry ?pool entry =
+  let model = entry.Registry.model in
+  let pool = match pool with Some p -> p | None -> default_pool entry model in
+  {
+    name = Registry.name entry;
+    attacks = Registry.attacks entry;
+    model;
+    spec = Some entry.Registry.spec;
+    pool;
+    run =
+      (fun ~attack ~crash ~arbiter inst ->
+        let opts = Exec.make_opts ~crash ~arbiter () in
+        entry.Registry.run ~opts ~attack inst);
+  }
+
+let resolve ?(targets = []) name =
+  match List.find_opt (fun t -> t.name = name) targets with
+  | Some t -> Some t
+  | None -> Option.map of_registry (Registry.find name)
+
+(* ------------------------------------------------------------------ *)
+(* Running one scenario                                               *)
+(* ------------------------------------------------------------------ *)
+
+type checked = {
+  report : Problem.report;
+  script : int list;
+  violation : Invariant.violation option;
+}
+
+let instance_of target (s : Repro.scenario) =
+  Problem.random_instance ~seed:s.Repro.seed ~model:target.model ~k:s.Repro.k ~n:s.Repro.n
+    ~t:s.Repro.t ()
+
+let run_scenario target (s : Repro.scenario) ~arbiter =
+  let inst = instance_of target s in
+  let recording, recorded = Explore.record arbiter in
+  let crash = Crash_plan.apply s.Repro.crash inst.Problem.fault in
+  let report = target.run ~attack:s.Repro.attack ~crash ~arbiter:recording inst in
+  let script = recorded () in
+  let violation =
+    Invariant.check ?spec:target.spec ~inst ~events:(List.length script) report
+  in
+  { report; script; violation }
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let same_violation inv (c : checked) =
+  match c.violation with
+  | Some v -> Invariant.name v.Invariant.invariant = inv
+  | None -> false
+
+let shrink target (s : Repro.scenario) (v : Invariant.violation) ~script =
+  let inv = Invariant.name v.Invariant.invariant in
+  let fails_with crash script =
+    same_violation inv
+      (run_scenario target { s with Repro.crash } ~arbiter:(Explore.scripted script))
+  in
+  (* Fault plan first: no crash at all, else a lower parameter. *)
+  let crash =
+    if s.Repro.crash <> Crash_plan.No_crash && fails_with Crash_plan.No_crash script then
+      Crash_plan.No_crash
+    else begin
+      let lower rebuild j =
+        let j' = ref j in
+        while !j' > 0 && fails_with (rebuild (!j' - 1)) script do
+          decr j'
+        done;
+        rebuild !j'
+      in
+      match s.Repro.crash with
+      | Crash_plan.No_crash -> Crash_plan.No_crash
+      | Crash_plan.Mid_broadcast j -> lower (fun j -> Crash_plan.Mid_broadcast j) j
+      | Crash_plan.After_queries j -> lower (fun j -> Crash_plan.After_queries j) j
+    end
+  in
+  let script = Shrink.minimize ~fails:(fails_with crash) script in
+  let s = { s with Repro.crash } in
+  match run_scenario target s ~arbiter:(Explore.scripted script) with
+  | { violation = Some v; _ } ->
+    {
+      Repro.scenario = s;
+      script;
+      invariant = Invariant.name v.Invariant.invariant;
+      event = v.Invariant.event;
+      detail = v.Invariant.detail;
+    }
+  | { violation = None; _ } ->
+    (* Shrink validated every step against the predicate; an unreproducible
+       result here means the target is nondeterministic. *)
+    failwith (Printf.sprintf "Check.shrink: %s is not deterministic under replay" target.name)
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type replay_result =
+  | Reproduced of Invariant.violation
+  | Diverged of string
+  | Vanished
+
+let replay ?targets (r : Repro.t) =
+  match resolve ?targets r.Repro.scenario.Repro.protocol with
+  | None -> Diverged (Printf.sprintf "unknown protocol %S" r.Repro.scenario.Repro.protocol)
+  | Some target ->
+    (match run_scenario target r.Repro.scenario ~arbiter:(Explore.scripted r.Repro.script) with
+    | { violation = None; _ } -> Vanished
+    | { violation = Some v; _ } ->
+      let name = Invariant.name v.Invariant.invariant in
+      if name <> r.Repro.invariant then
+        Diverged
+          (Printf.sprintf "expected %s to fail, got %s: %s" r.Repro.invariant name
+             v.Invariant.detail)
+      else if v.Invariant.event <> r.Repro.event then
+        Diverged
+          (Printf.sprintf "%s fails at event %d, recorded at %d" name v.Invariant.event
+             r.Repro.event)
+      else Reproduced v)
+
+(* ------------------------------------------------------------------ *)
+(* The fuzz driver                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  target_name : string;
+  runs : int;
+  dfs_runs : int;
+  dfs_exhausted : bool;
+  failures : Repro.t list;
+}
+
+let crash_descriptors =
+  [
+    Crash_plan.No_crash;
+    Crash_plan.Mid_broadcast 0;
+    Crash_plan.Mid_broadcast 1;
+    Crash_plan.Mid_broadcast 2;
+    Crash_plan.After_queries 0;
+    Crash_plan.After_queries 1;
+  ]
+
+let pick prng l = List.nth l (Prng.int prng (List.length l))
+
+let fuzz ?dfs_budget ?(max_failures = 5) ~budget ~seed target =
+  if target.pool = [] then
+    failwith (Printf.sprintf "Check.fuzz: %s has no admissible small instance" target.name);
+  let dfs_budget = match dfs_budget with Some d -> min d budget | None -> budget / 4 in
+  let failures = ref [] in
+  let seen = ref [] in
+  let note_failure (s : Repro.scenario) (c : checked) =
+    match c.violation with
+    | None -> ()
+    | Some v ->
+      let key = (Invariant.name v.Invariant.invariant, s) in
+      if List.length !failures < max_failures && not (List.mem key !seen) then begin
+        seen := key :: !seen;
+        failures := shrink target s v ~script:c.script :: !failures
+      end
+  in
+  (* Phase 1: systematic DFS prefix on one fixed scenario — the first pool
+     entry with faults (faults exercise the interesting schedules), default
+     attack, the mildest interesting crash plan. *)
+  let dfs_scenario =
+    let k, n, t =
+      match List.find_opt (fun (_, _, t) -> t > 0) target.pool with
+      | Some p -> p
+      | None -> List.hd target.pool
+    in
+    let crash =
+      if t > 0 && target.model = Problem.Crash then Crash_plan.Mid_broadcast 1
+      else Crash_plan.No_crash
+    in
+    {
+      Repro.protocol = target.name;
+      attack = (match target.attacks with a :: _ -> a | [] -> "default");
+      k;
+      n;
+      t;
+      seed = 1L;
+      crash;
+    }
+  in
+  let dfs =
+    if dfs_budget <= 0 then None
+    else
+      Some
+        (Explore.dfs ~budget:dfs_budget ~run:(fun ~arbiter ->
+             let c = run_scenario target dfs_scenario ~arbiter in
+             (* dfs re-finds its own failing script; record the first one. *)
+             if c.violation <> None then note_failure dfs_scenario c;
+             c.violation = None))
+  in
+  let dfs_runs, dfs_exhausted =
+    match dfs with
+    | None -> (0, false)
+    | Some o -> (o.Explore.schedules_run, o.Explore.exhausted)
+  in
+  (* Phase 2: seeded random scenarios for the remaining budget. *)
+  let prng = Prng.create (Int64.of_int (seed + 0x5eed)) in
+  let random_runs = max 0 (budget - dfs_runs) in
+  for _ = 1 to random_runs do
+    let k, n, t = pick prng target.pool in
+    let scenario =
+      {
+        Repro.protocol = target.name;
+        attack = pick prng target.attacks;
+        k;
+        n;
+        t;
+        seed = Int64.of_int (1 + Prng.int prng 1_000_000);
+        crash = pick prng crash_descriptors;
+      }
+    in
+    let arbiter = Explore.random (Prng.create (Int64.of_int (1 + Prng.int prng 1_000_000))) in
+    note_failure scenario (run_scenario target scenario ~arbiter)
+  done;
+  {
+    target_name = target.name;
+    runs = dfs_runs + random_runs;
+    dfs_runs;
+    dfs_exhausted;
+    failures = List.rev !failures;
+  }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "%s: %d runs (dfs %d%s), %d violation%s" o.target_name o.runs o.dfs_runs
+    (if o.dfs_exhausted then ", exhausted" else "")
+    (List.length o.failures)
+    (if List.length o.failures = 1 then "" else "s");
+  List.iter (fun r -> Format.fprintf ppf "@.  %a" Repro.pp r) o.failures

@@ -1,0 +1,96 @@
+(** The [dr_check] model checker: schedule fuzzing with an invariant oracle
+    and counterexample shrinking.
+
+    A {!target} is anything checkable — normally a {!Dr_core.Registry} entry
+    via {!of_registry}, or a hand-built record (the tests check a
+    deliberately broken protocol stub this way). {!fuzz} searches for
+    invariant violations in three moves:
+
+    + a budgeted DFS prefix of the schedule tree ({!Dr_engine.Explore.dfs})
+      on a fixed small scenario;
+    + seeded random schedules ({!Dr_engine.Explore.random}) over randomized
+      scenarios: instance parameters from the target's pool, attack names
+      from its catalog, crash plans from the descriptor pool;
+    + every failure is re-recorded as a choice script, minimized with
+      {!Shrink}, and packaged as a replayable {!Repro.t}.
+
+    Everything is deterministic given [seed]; {!replay} re-executes a repro
+    and verifies that the {e same} invariant fails at the {e same} event
+    index. *)
+
+type target = {
+  name : string;
+  attacks : string list;  (** attack vocabulary accepted by [run] *)
+  model : Dr_core.Problem.fault_model;
+  spec : Dr_core.Spec.bounds option;
+      (** enables the spec-bound invariant (see {!Invariant.check} for the
+          randomized/resilience gating) *)
+  pool : (int * int * int) list;
+      (** admissible [(k, n, t)] instance parameters the fuzzer draws from;
+          must be small — under an arbiter the simulator's event pool is a
+          list, and every schedule re-executes the protocol *)
+  run :
+    attack:string ->
+    crash:Dr_adversary.Crash_plan.t ->
+    arbiter:Dr_engine.Sim.arbiter ->
+    Dr_core.Problem.instance ->
+    Dr_core.Problem.report;
+}
+
+val of_registry : ?pool:(int * int * int) list -> Dr_core.Registry.entry -> target
+(** Check a registry protocol. The default pool crosses k ∈ 2..5 with small
+    n and every fault count the entry's [supports] precondition admits. *)
+
+val resolve : ?targets:target list -> string -> target option
+(** Look a target up by name — [targets] first, then the registry. *)
+
+(** {2 Running one scenario} *)
+
+type checked = {
+  report : Dr_core.Problem.report;
+  script : int list;  (** the full recorded schedule of this execution *)
+  violation : Invariant.violation option;
+}
+
+val run_scenario : target -> Repro.scenario -> arbiter:Dr_engine.Sim.arbiter -> checked
+(** Build the instance from the scenario, run under the given arbiter with
+    the scenario's crash plan applied to the instance's faulty set, record
+    the schedule and consult the {!Invariant} oracle. *)
+
+val shrink : target -> Repro.scenario -> Invariant.violation -> script:int list -> Repro.t
+(** Minimize a failing run: first the crash plan (drop it, then lower its
+    parameter), then the choice script via {!Shrink.minimize} — each step
+    keeps the {e same} invariant failing. The result replays bit-identically
+    through {!Dr_engine.Explore.scripted}. *)
+
+type replay_result =
+  | Reproduced of Invariant.violation
+      (** same invariant, same event index as recorded *)
+  | Diverged of string  (** a violation, but not the recorded one *)
+  | Vanished  (** no violation — the bug is gone (or the build changed) *)
+
+val replay : ?targets:target list -> Repro.t -> replay_result
+
+(** {2 The fuzz driver} *)
+
+type outcome = {
+  target_name : string;
+  runs : int;  (** executions performed (DFS + random) *)
+  dfs_runs : int;
+  dfs_exhausted : bool;  (** the DFS scenario's whole schedule tree fit *)
+  failures : Repro.t list;  (** shrunk, deduplicated by (invariant, scenario) *)
+}
+
+val fuzz :
+  ?dfs_budget:int ->
+  ?max_failures:int ->
+  budget:int ->
+  seed:int ->
+  target ->
+  outcome
+(** [fuzz ~budget ~seed target] spends [budget] executions on the target:
+    [dfs_budget] (default [budget / 4]) on the systematic prefix, the rest on
+    random scenarios. Stops collecting after [max_failures] (default 5)
+    shrunk counterexamples. Deterministic given [seed]. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -3,10 +3,12 @@ type entry = {
   model : Problem.fault_model;
   beta_sup : float;
   spec : Spec.bounds;
+  attacks : string list;
   run :
     ?opts:Exec.opts ->
     ?attack:string ->
     ?segments:int ->
+    ?rho:int ->
     Problem.instance ->
     Problem.report;
 }
@@ -20,7 +22,8 @@ let plain (module P : Exec.PROTOCOL) ~model ~beta_sup ~spec =
     model;
     beta_sup;
     spec;
-    run = (fun ?opts ?attack:_ ?segments:_ inst -> P.run ?opts inst);
+    attacks = [ "default" ];
+    run = (fun ?opts ?attack:_ ?segments:_ ?rho:_ inst -> P.run ?opts inst);
   }
 
 let committee_entry =
@@ -29,8 +32,9 @@ let committee_entry =
     model = Problem.Byzantine;
     beta_sup = 0.5;
     spec = Spec.committee;
+    attacks = [ "equivocate"; "silent"; "flip"; "collude" ];
     run =
-      (fun ?opts ?(attack = "default") ?segments:_ inst ->
+      (fun ?opts ?(attack = "default") ?segments:_ ?rho:_ inst ->
         let attack =
           match attack with
           | "default" | "equivocate" -> Committee.Equivocate
@@ -48,17 +52,19 @@ let byz_2cycle_entry =
     model = Problem.Byzantine;
     beta_sup = 0.5;
     spec = Spec.byz_2cycle;
+    attacks = [ "nearmiss"; "silent"; "lie"; "equivocate"; "flood" ];
     run =
-      (fun ?opts ?(attack = "default") ?segments inst ->
+      (fun ?opts ?(attack = "default") ?segments ?rho inst ->
         let attack =
           match attack with
           | "default" | "nearmiss" -> Byz_2cycle.Near_miss
           | "silent" -> Byz_2cycle.Silent
           | "lie" -> Byz_2cycle.Consistent_lie
           | "equivocate" -> Byz_2cycle.Equivocate
+          | "flood" -> Byz_2cycle.Flood (max 1 (Problem.t inst))
           | other -> failwith ("unknown 2cycle attack: " ^ other)
         in
-        Byz_2cycle.run_with ?opts ~attack ?segments inst);
+        Byz_2cycle.run_with ?opts ~attack ?segments ?rho inst);
   }
 
 let byz_multicycle_entry =
@@ -67,17 +73,19 @@ let byz_multicycle_entry =
     model = Problem.Byzantine;
     beta_sup = 0.5;
     spec = Spec.byz_multicycle;
+    attacks = [ "nearmiss"; "silent"; "lie"; "equivocate"; "flood" ];
     run =
-      (fun ?opts ?(attack = "default") ?segments inst ->
+      (fun ?opts ?(attack = "default") ?segments ?rho inst ->
         let attack =
           match attack with
           | "default" | "nearmiss" -> Byz_multicycle.Near_miss
           | "silent" -> Byz_multicycle.Silent
           | "lie" -> Byz_multicycle.Consistent_lie
           | "equivocate" -> Byz_multicycle.Equivocate
+          | "flood" -> Byz_multicycle.Flood (max 1 (Problem.t inst))
           | other -> failwith ("unknown multicycle attack: " ^ other)
         in
-        Byz_multicycle.run_with ?opts ~attack ?segments inst);
+        Byz_multicycle.run_with ?opts ~attack ?segments ?rho inst);
   }
 
 let all =
@@ -96,6 +104,7 @@ let name e =
   P.name
 
 let randomized e = e.spec.Spec.randomized
+let attacks e = e.attacks
 
 let find n = List.find_opt (fun e -> name e = n) all
 let find_exn n =

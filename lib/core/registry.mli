@@ -19,17 +19,24 @@ type entry = {
           protocols, 0 for the fault-free/single-crash baselines. The exact
           finite-[k] precondition is [spec.resilience] / [supports]. *)
   spec : Spec.bounds;  (** the paper's bound record for this protocol *)
+  attacks : string list;
+      (** the entry's full attack-name catalog, every name accepted by [run]
+          (["default"] excluded for the Byzantine entries — it aliases the
+          first name). Protocols without an attack surface list just
+          ["default"]. Test matrices and the [dr_check] fuzzer iterate this
+          instead of keeping their own per-protocol lists. *)
   run :
     ?opts:Exec.opts ->
     ?attack:string ->
     ?segments:int ->
+    ?rho:int ->
     Problem.instance ->
     Problem.report;
       (** run the protocol; [attack] is the CLI attack name ("default",
-          "silent", "flip", "equivocate", "collude", "nearmiss", "lie") —
-          protocols without an attack surface ignore it, the Byzantine ones
-          raise [Failure] on a name outside their catalog. [segments]
-          applies to the randomized protocols only. *)
+          "silent", "flip", "equivocate", "collude", "nearmiss", "lie",
+          "flood") — protocols without an attack surface ignore it, the
+          Byzantine ones raise [Failure] on a name outside their catalog.
+          [segments] and [rho] apply to the randomized protocols only. *)
 }
 
 val all : entry list
@@ -43,6 +50,9 @@ val find_exn : string -> entry
 
 val name : entry -> string
 val randomized : entry -> bool
+
+val attacks : entry -> string list
+(** The [attacks] catalog field. *)
 
 val admits : entry -> Problem.instance -> (unit, string) result
 (** The protocol's own [supports] precondition. *)

@@ -6,14 +6,54 @@ type outcome = {
   max_depth : int;
 }
 
-let scripted script =
+type replay = {
+  arbiter : Sim.arbiter;
+  steps : unit -> int;
+  overruns : unit -> int;
+  clamped : unit -> int;
+}
+
+let replay script =
   let remaining = ref script in
-  fun count ->
+  let steps = ref 0 in
+  let overruns = ref 0 in
+  let clamped = ref 0 in
+  let arbiter count =
+    incr steps;
     match !remaining with
     | c :: tl ->
       remaining := tl;
-      if c < count then c else count - 1
-    | [] -> 0
+      if c < count then c
+      else begin
+        incr clamped;
+        count - 1
+      end
+    | [] ->
+      incr overruns;
+      0
+  in
+  {
+    arbiter;
+    steps = (fun () -> !steps);
+    overruns = (fun () -> !overruns);
+    clamped = (fun () -> !clamped);
+  }
+
+let faithful r = r.overruns () = 0 && r.clamped () = 0
+
+let scripted script = (replay script).arbiter
+
+let record arbiter =
+  let log = ref [] in
+  let recording count =
+    let c = arbiter count in
+    (* Clamp exactly like the simulator does, so the recorded script is the
+       schedule that actually fired. *)
+    let c = if c < 0 || c >= count then 0 else c in
+    log := c :: !log;
+    c
+  in
+  (recording, fun () -> List.rev !log)
 
 let random prng count = Prng.int prng count
 

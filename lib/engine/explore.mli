@@ -26,9 +26,39 @@ val dfs : budget:int -> run:(arbiter:Sim.arbiter -> bool) -> outcome
     that drives that schedule; [run] returns whether the execution was
     correct. [run] must be deterministic given the arbiter's choices. *)
 
+type replay = {
+  arbiter : Sim.arbiter;
+  steps : unit -> int;  (** choices made so far (events fired) *)
+  overruns : unit -> int;
+      (** choices requested {e after} the script ran out — each one was
+          answered with 0. A replayed counterexample whose execution outlives
+          its recorded schedule diverged from the recording; a nonzero count
+          makes that visible instead of silently padding. *)
+  clamped : unit -> int;
+      (** scripted choices that were out of range for the pending-event count
+          at that step (answered with [count - 1]) — also divergence. *)
+}
+
+val replay : int list -> replay
+(** A scripted arbiter that counts its own divergence. Replaying a script on
+    the deterministic execution it was recorded from reports
+    [overruns () = 0] and [clamped () = 0]; anything else means the run no
+    longer follows the recorded schedule. *)
+
+val faithful : replay -> bool
+(** [overruns () = 0 && clamped () = 0] — the execution followed the script
+    exactly (so far). *)
+
 val scripted : int list -> Sim.arbiter
 (** An arbiter that follows the given choice script, then always picks 0 —
-    for replaying a failure found by {!dfs}. *)
+    for replaying a failure found by {!dfs}. Use {!replay} when divergence
+    from the script must be detected rather than masked. *)
+
+val record : Sim.arbiter -> Sim.arbiter * (unit -> int list)
+(** [record a] wraps [a] so that every choice it makes (clamped exactly as
+    the simulator clamps) is logged; the second component returns the script
+    so far. Recording a {!random} arbiter turns a fuzzed run into a
+    deterministic, replayable script. *)
 
 val random : Prng.t -> Sim.arbiter
 (** A uniformly random arbiter — schedule fuzzing beyond the DFS prefix. *)

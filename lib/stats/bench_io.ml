@@ -50,6 +50,142 @@ let escape s =
     s;
   Buffer.contents b
 
+module Json = struct
+  type t =
+    | Obj of (string * t) list
+    | Arr of t list
+    | Str of string
+    | Num of float
+
+  type cursor = { src : string; mutable pos : int }
+
+  let fail c msg = failwith (Printf.sprintf "Json: %s at byte %d" msg c.pos)
+
+  let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+  let skip_ws c =
+    while
+      c.pos < String.length c.src
+      && match c.src.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      c.pos <- c.pos + 1
+    done
+
+  let expect c ch =
+    skip_ws c;
+    match peek c with
+    | Some x when x = ch -> c.pos <- c.pos + 1
+    | _ -> fail c (Printf.sprintf "expected %C" ch)
+
+  let parse_string c =
+    expect c '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if c.pos >= String.length c.src then fail c "unterminated string";
+      match c.src.[c.pos] with
+      | '"' -> c.pos <- c.pos + 1
+      | '\\' ->
+        if c.pos + 1 >= String.length c.src then fail c "bad escape";
+        (match c.src.[c.pos + 1] with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | ch -> fail c (Printf.sprintf "unsupported escape \\%c" ch));
+        c.pos <- c.pos + 2;
+        go ()
+      | ch ->
+        Buffer.add_char b ch;
+        c.pos <- c.pos + 1;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+
+  let parse_number c =
+    let start = c.pos in
+    let is_num ch =
+      (ch >= '0' && ch <= '9') || ch = '-' || ch = '+' || ch = '.' || ch = 'e' || ch = 'E'
+    in
+    while c.pos < String.length c.src && is_num c.src.[c.pos] do
+      c.pos <- c.pos + 1
+    done;
+    if c.pos = start then fail c "expected number";
+    match float_of_string_opt (String.sub c.src start (c.pos - start)) with
+    | Some f -> f
+    | None -> fail c "malformed number"
+
+  let rec parse_value c =
+    skip_ws c;
+    match peek c with
+    | Some '{' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        c.pos <- c.pos + 1;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws c;
+          let key = parse_string c in
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+            c.pos <- c.pos + 1;
+            members ((key, v) :: acc)
+          | Some '}' ->
+            c.pos <- c.pos + 1;
+            List.rev ((key, v) :: acc)
+          | _ -> fail c "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+    | Some '[' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        c.pos <- c.pos + 1;
+        Arr []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+            c.pos <- c.pos + 1;
+            items (v :: acc)
+          | Some ']' ->
+            c.pos <- c.pos + 1;
+            List.rev (v :: acc)
+          | _ -> fail c "expected ',' or ']'"
+        in
+        Arr (items [])
+      end
+    | Some '"' -> Str (parse_string c)
+    | Some _ -> Num (parse_number c)
+    | None -> fail c "unexpected end of input"
+
+  let parse text = parse_value { src = text; pos = 0 }
+
+  let member obj key = match obj with Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+  let str obj key =
+    match member obj key with
+    | Some (Str s) -> s
+    | _ -> failwith ("Json: missing string field " ^ key)
+
+  let num obj key =
+    match member obj key with
+    | Some (Num f) -> f
+    | _ -> failwith ("Json: missing number field " ^ key)
+
+  let escape = escape
+end
+
 let float_field f =
   (* %.17g round-trips every float; normalize nan/inf (not expected) to 0. *)
   if Float.is_nan f || f = infinity || f = neg_infinity then "0"
@@ -75,160 +211,30 @@ let to_json { suite; benches } =
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
-(* Minimal JSON parser (objects, arrays, strings, numbers)            *)
+(* Parser (on the shared Json module above)                           *)
 (* ------------------------------------------------------------------ *)
 
-type json =
-  | J_obj of (string * json) list
-  | J_arr of json list
-  | J_str of string
-  | J_num of float
-
-type cursor = { src : string; mutable pos : int }
-
-let fail c msg = failwith (Printf.sprintf "Bench_io.of_json: %s at byte %d" msg c.pos)
-
-let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
-
-let skip_ws c =
-  while
-    c.pos < String.length c.src
-    && match c.src.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
-  do
-    c.pos <- c.pos + 1
-  done
-
-let expect c ch =
-  skip_ws c;
-  match peek c with
-  | Some x when x = ch -> c.pos <- c.pos + 1
-  | _ -> fail c (Printf.sprintf "expected %C" ch)
-
-let parse_string c =
-  expect c '"';
-  let b = Buffer.create 16 in
-  let rec go () =
-    if c.pos >= String.length c.src then fail c "unterminated string";
-    match c.src.[c.pos] with
-    | '"' -> c.pos <- c.pos + 1
-    | '\\' ->
-      if c.pos + 1 >= String.length c.src then fail c "bad escape";
-      (match c.src.[c.pos + 1] with
-      | '"' -> Buffer.add_char b '"'
-      | '\\' -> Buffer.add_char b '\\'
-      | 'n' -> Buffer.add_char b '\n'
-      | 't' -> Buffer.add_char b '\t'
-      | ch -> fail c (Printf.sprintf "unsupported escape \\%c" ch));
-      c.pos <- c.pos + 2;
-      go ()
-    | ch ->
-      Buffer.add_char b ch;
-      c.pos <- c.pos + 1;
-      go ()
-  in
-  go ();
-  Buffer.contents b
-
-let parse_number c =
-  let start = c.pos in
-  let is_num ch =
-    (ch >= '0' && ch <= '9') || ch = '-' || ch = '+' || ch = '.' || ch = 'e' || ch = 'E'
-  in
-  while c.pos < String.length c.src && is_num c.src.[c.pos] do
-    c.pos <- c.pos + 1
-  done;
-  if c.pos = start then fail c "expected number";
-  match float_of_string_opt (String.sub c.src start (c.pos - start)) with
-  | Some f -> f
-  | None -> fail c "malformed number"
-
-let rec parse_value c =
-  skip_ws c;
-  match peek c with
-  | Some '{' ->
-    c.pos <- c.pos + 1;
-    skip_ws c;
-    if peek c = Some '}' then begin
-      c.pos <- c.pos + 1;
-      J_obj []
-    end
-    else begin
-      let rec members acc =
-        skip_ws c;
-        let key = parse_string c in
-        expect c ':';
-        let v = parse_value c in
-        skip_ws c;
-        match peek c with
-        | Some ',' ->
-          c.pos <- c.pos + 1;
-          members ((key, v) :: acc)
-        | Some '}' ->
-          c.pos <- c.pos + 1;
-          List.rev ((key, v) :: acc)
-        | _ -> fail c "expected ',' or '}'"
-      in
-      J_obj (members [])
-    end
-  | Some '[' ->
-    c.pos <- c.pos + 1;
-    skip_ws c;
-    if peek c = Some ']' then begin
-      c.pos <- c.pos + 1;
-      J_arr []
-    end
-    else begin
-      let rec items acc =
-        let v = parse_value c in
-        skip_ws c;
-        match peek c with
-        | Some ',' ->
-          c.pos <- c.pos + 1;
-          items (v :: acc)
-        | Some ']' ->
-          c.pos <- c.pos + 1;
-          List.rev (v :: acc)
-        | _ -> fail c "expected ',' or ']'"
-      in
-      J_arr (items [])
-    end
-  | Some '"' -> J_str (parse_string c)
-  | Some _ -> J_num (parse_number c)
-  | None -> fail c "unexpected end of input"
-
-let member obj key =
-  match obj with
-  | J_obj kvs -> List.assoc_opt key kvs
-  | _ -> None
-
-let str_member c obj key =
-  match member obj key with Some (J_str s) -> s | _ -> fail c ("missing string field " ^ key)
-
-let num_member c obj key =
-  match member obj key with Some (J_num f) -> f | _ -> fail c ("missing number field " ^ key)
-
 let of_json text =
-  let c = { src = text; pos = 0 } in
-  let root = parse_value c in
-  let schema = str_member c root "schema" in
+  let root = Json.parse text in
+  let schema = Json.str root "schema" in
   if schema <> schema_id then
     failwith (Printf.sprintf "Bench_io.of_json: unsupported schema %S (want %S)" schema schema_id);
-  let suite = str_member c root "suite" in
+  let suite = Json.str root "suite" in
   let benches =
-    match member root "benches" with
-    | Some (J_arr items) ->
+    match Json.member root "benches" with
+    | Some (Json.Arr items) ->
       List.map
         (fun item ->
           {
-            name = str_member c item "name";
-            unit_ = str_member c item "unit";
-            runs = int_of_float (num_member c item "runs");
-            median = num_member c item "median";
-            iqr_lo = num_member c item "iqr_lo";
-            iqr_hi = num_member c item "iqr_hi";
+            name = Json.str item "name";
+            unit_ = Json.str item "unit";
+            runs = int_of_float (Json.num item "runs");
+            median = Json.num item "median";
+            iqr_lo = Json.num item "iqr_lo";
+            iqr_hi = Json.num item "iqr_hi";
           })
         items
-    | _ -> fail c "missing benches array"
+    | _ -> failwith "Bench_io.of_json: missing benches array"
   in
   { suite; benches }
 

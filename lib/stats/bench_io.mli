@@ -33,6 +33,32 @@ type bench = {
 
 type file = { suite : string; benches : bench list }
 
+(** The minimal JSON subset (objects, arrays, strings, numbers) behind the
+    bench files, exposed so other machine-readable artifacts (the [dr_check]
+    repro files) reuse one parser instead of growing their own. *)
+module Json : sig
+  type t =
+    | Obj of (string * t) list
+    | Arr of t list
+    | Str of string
+    | Num of float
+
+  val parse : string -> t
+  (** Raises [Failure] with a byte position on malformed input. *)
+
+  val member : t -> string -> t option
+  (** Object field lookup; [None] on a non-object or missing key. *)
+
+  val str : t -> string -> string
+  (** Required string field. Raises [Failure] when absent or mistyped. *)
+
+  val num : t -> string -> float
+  (** Required number field. Raises [Failure] when absent or mistyped. *)
+
+  val escape : string -> string
+  (** Escape a string for embedding between double quotes. *)
+end
+
 val quantiles : float list -> float * float * float
 (** [(q25, median, q75)] of a non-empty sample, by linear interpolation.
     Raises [Invalid_argument] on an empty list. *)

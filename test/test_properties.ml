@@ -215,6 +215,15 @@ let prop_crash_general_q_bound =
       in
       r.Problem.ok && r.Problem.q_max <= bound)
 
+(* Run a registry entry with the attack picked by index from the entry's own
+   catalog. The attack vocabulary lives in one place (the registry), so a
+   protocol that grows a new attack is exercised here without edits. *)
+let registry_attack_run ~name ?segments ?rho ~opts ~attack_idx inst =
+  let entry = Registry.find_exn name in
+  let attacks = Registry.attacks entry in
+  let attack = List.nth attacks (attack_idx mod List.length attacks) in
+  entry.Registry.run ~opts ~attack ?segments ?rho inst
+
 let committee_instance_gen =
   QCheck.Gen.(
     int_range 0 3 >>= fun t ->
@@ -233,15 +242,8 @@ let prop_committee_always_correct =
     committee_instance_arb (fun (k, t, n, attack, seed) ->
       let seed = Int64.of_int seed in
       let inst = Problem.random_instance ~seed ~model:Problem.Byzantine ~k ~n ~t () in
-      let attack =
-        match attack with
-        | 0 -> Committee.Honest_but_silent
-        | 1 -> Committee.Flip
-        | 2 -> Committee.Equivocate
-        | _ -> Committee.Collude
-      in
       let opts = Exec.with_latency (Latency.jittered (Prng.create seed)) Exec.default in
-      (Committee.run_with ~opts ~attack inst).Problem.ok)
+      (registry_attack_run ~name:"byz-committee" ~opts ~attack_idx:attack inst).Problem.ok)
 
 let prop_balanced_correct =
   QCheck.Test.make ~name:"balanced: correct on fault-free random instances" ~count:60
@@ -355,33 +357,19 @@ let prop_byz_2cycle_safe_params =
     byz2_instance_arb (fun (k, t, n, attack, seed) ->
       let seed64 = Int64.of_int seed in
       let inst = Problem.random_instance ~seed:seed64 ~model:Problem.Byzantine ~k ~n ~t () in
-      let attack =
-        match attack with
-        | 0 -> Byz_2cycle.Silent
-        | 1 -> Byz_2cycle.Near_miss
-        | 2 -> Byz_2cycle.Consistent_lie
-        | 3 -> Byz_2cycle.Equivocate
-        | _ -> Byz_2cycle.Flood (max 1 t)
-      in
       let opts = Exec.with_latency (Latency.jittered (Prng.create seed64)) Exec.default in
       (* s = 2 with >= 10 honest reporters: coverage failure < 2^-8. *)
-      (Byz_2cycle.run_with ~opts ~attack ~segments:2 ~rho:1 inst).Problem.ok)
+      (registry_attack_run ~name:"byz-2cycle" ~segments:2 ~rho:1 ~opts ~attack_idx:attack inst)
+        .Problem.ok)
 
 let prop_byz_multicycle_safe_params =
   QCheck.Test.make ~name:"byz-multicycle: correct under catalog attacks (safe parameters)"
     ~count:40 byz2_instance_arb (fun (k, t, n, attack, seed) ->
       let seed64 = Int64.of_int seed in
       let inst = Problem.random_instance ~seed:seed64 ~model:Problem.Byzantine ~k ~n ~t () in
-      let attack =
-        match attack with
-        | 0 -> Byz_multicycle.Silent
-        | 1 -> Byz_multicycle.Near_miss
-        | 2 -> Byz_multicycle.Consistent_lie
-        | 3 -> Byz_multicycle.Equivocate
-        | _ -> Byz_multicycle.Flood (max 1 t)
-      in
       let opts = Exec.with_latency (Latency.jittered (Prng.create seed64)) Exec.default in
-      (Byz_multicycle.run_with ~opts ~attack ~segments:2 ~rho:1 inst).Problem.ok)
+      (registry_attack_run ~name:"byz-multicycle" ~segments:2 ~rho:1 ~opts ~attack_idx:attack inst)
+        .Problem.ok)
 
 let prop_spec_bound_crash_general =
   QCheck.Test.make ~name:"spec: crash-general Q bound holds on random instances" ~count:50
@@ -419,6 +407,45 @@ let prop_naive_unconditional =
       in
       (Naive.run inst).Problem.ok)
 
+(* ------------------------------------------------------------------ *)
+(* Registry matrix: every protocol x every catalog attack              *)
+(* ------------------------------------------------------------------ *)
+
+(* The smallest admitted instance with as many faults as the protocol's own
+   [supports] precondition allows: faults make the attacks actually fire. For
+   the randomized protocols we additionally keep k >= 4t + 4 (the same safe
+   margin the QCheck generators use) so the w.h.p. coverage guarantee is
+   essentially certain and the matrix stays deterministic-green. *)
+let matrix_instance entry =
+  let admitted =
+    List.concat_map
+      (fun (k, n) -> List.init k (fun t -> (k, n, t)))
+      [ (2, 4); (3, 6); (4, 8); (5, 10); (9, 18); (20, 40) ]
+    |> List.filter (fun (k, n, t) ->
+           let inst =
+             Problem.random_instance ~seed:7L ~model:entry.Registry.model ~k ~n ~t ()
+           in
+           Registry.admits entry inst = Ok ()
+           && ((not (Registry.randomized entry)) || k >= (4 * t) + 4))
+  in
+  match List.sort (fun (_, _, t1) (_, _, t2) -> compare t2 t1) admitted with
+  | [] -> Alcotest.failf "%s admits no small instance" (Registry.name entry)
+  | (k, n, t) :: _ -> Problem.random_instance ~seed:7L ~model:entry.Registry.model ~k ~n ~t ()
+
+let matrix_registry_attacks () =
+  List.iter
+    (fun entry ->
+      let inst = matrix_instance entry in
+      List.iter
+        (fun attack ->
+          let r = entry.Registry.run ~attack ~segments:2 ~rho:1 inst in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s: honest peers output X (k=%d n=%d t=%d)"
+               (Registry.name entry) attack inst.Problem.k (Problem.n inst) (Problem.t inst))
+            true r.Problem.ok)
+        (Registry.attacks entry))
+    Registry.all
+
 let suite =
   (* A fixed QCheck random state keeps the generated cases identical from
      run to run: the whole test suite stays deterministic (the randomized
@@ -452,4 +479,8 @@ let suite =
       prop_summary_bounds;
       prop_binomial_pmf_sums;
       prop_coverage_monotone_in_rho;
+    ]
+  @ [
+      Alcotest.test_case "registry matrix: every protocol x catalog attack" `Quick
+        matrix_registry_attacks;
     ]
