@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-check bench-diff check check-smoke clean
+.PHONY: all build test lint bench bench-check bench-diff check check-smoke clean
 
 all: build
 
@@ -7,6 +7,11 @@ build:
 
 test:
 	dune runtest
+
+# Static analysis: dr_lint's five determinism / confinement rules (L1-L5)
+# over lib/ bin/ bench/. Nonzero exit on any finding or stale pragma.
+lint:
+	dune build @lint
 
 # Full benchmark run: writes BENCH_engine.json / BENCH_protocols.json in the
 # working directory (several minutes).

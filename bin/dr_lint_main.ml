@@ -1,0 +1,62 @@
+(* dr_lint: the repo's determinism & query-confinement linter.
+
+   Examples:
+     dr_lint                     # lint lib/ bin/ bench/
+     dr_lint lib/stats           # lint one subtree
+     dr_lint --rules             # print the rule catalogue
+
+   Parses every .ml into the Parsetree and checks the five static
+   invariants L1–L5 (see DESIGN.md "Static invariants"). A finding can be
+   deliberately waived with a comment directly above the line, of the form
+
+     dr-lint: allow L3 — documented default formatter
+
+   wrapped in ordinary comment parens.
+
+   Exit codes: 0 clean, 1 findings (or unused pragmas), 2 usage/IO error. *)
+
+open Cmdliner
+module Driver = Dr_lint.Driver
+module Finding = Dr_lint.Finding
+
+let paths_arg =
+  Arg.(
+    value & pos_all string [ "lib"; "bin"; "bench" ]
+    & info [] ~docv:"PATH" ~doc:"Files or directories to lint (default: lib bin bench).")
+
+let rules_arg =
+  Arg.(value & flag & info [ "rules" ] ~doc:"Print the rule catalogue and exit.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Print findings only, no summary line.")
+
+let print_rules () =
+  List.iter
+    (fun r -> Format.printf "%s  %s@." (Finding.rule_name r) (Finding.rule_doc r))
+    [ Finding.L1; Finding.L2; Finding.L3; Finding.L4; Finding.L5 ]
+
+let run paths rules quiet =
+  if rules then begin
+    print_rules ();
+    0
+  end
+  else
+    match Driver.lint_paths paths with
+    | report ->
+      if quiet then
+        List.iter
+          (fun fr -> List.iter (Format.printf "%a@." Finding.pp) fr.Driver.findings)
+          report.Driver.files
+      else Format.printf "%a" Driver.pp_report report;
+      if Driver.clean report then 0 else 1
+    | exception Driver.Error msg ->
+      Format.eprintf "dr_lint: %s@." msg;
+      2
+
+let cmd =
+  let doc = "AST-level determinism & query-confinement linter (rules L1-L5)" in
+  Cmd.v
+    (Cmd.info "dr_lint" ~doc)
+    Term.(const run $ paths_arg $ rules_arg $ quiet_arg)
+
+let () = exit (Cmd.eval' cmd)

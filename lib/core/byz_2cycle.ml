@@ -60,7 +60,7 @@ let run_with ?(opts = Exec.default) ?(attack = Near_miss) ?segments ?rho inst =
       let wanted_len seg = Segment.len spec seg in
       while not (!heard >= k - t && Frequent.covered store ~segments:s ~rho) do
         let src, { seg; bits } = S.receive () in
-        if seg >= 0 && seg < s && Bitarray.length bits = wanted_len seg then
+        if seg >= 0 && seg < s && Int.equal (Bitarray.length bits) (wanted_len seg) then
           if Frequent.add store ~seg ~peer:src bits then incr heard
       done;
       let y = Bitarray.create n in

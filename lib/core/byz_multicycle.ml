@@ -75,7 +75,9 @@ let run_with ?(opts = Exec.default) ?(attack = Near_miss) ?segments ?rho inst =
     let ingest src { cycle; seg; bits } =
       if cycle >= 1 && cycle <= cycles then begin
         let spec = specs.(cycle - 1) in
-        if seg >= 0 && seg < spec.Segment.s && Bitarray.length bits = Segment.len spec seg then
+        if seg >= 0 && seg < spec.Segment.s
+           && Int.equal (Bitarray.length bits) (Segment.len spec seg)
+        then
           if Frequent.add stores.(cycle - 1) ~seg ~peer:src bits then
             heard.(cycle - 1) <- heard.(cycle - 1) + 1
       end

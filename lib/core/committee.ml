@@ -80,7 +80,7 @@ let run_with ?(opts = Exec.default) ?(attack = Equivocate) ?committee_size ?thre
         && (not decided.(block))
         && member block src
         && (not (Hashtbl.mem voted (block, src)))
-        && Bitarray.length bits = Segment.len spec block
+        && Int.equal (Bitarray.length bits) (Segment.len spec block)
       then begin
         Hashtbl.add voted (block, src) ();
         let count =

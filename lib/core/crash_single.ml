@@ -206,7 +206,8 @@ let run ?(opts = Exec.default) inst =
         missing := u;
         S.broadcast (Ask { about = u });
         (* ---- Stage 3: collect k-1 responses (or be rescued). ---- *)
-        wait_until (fun () -> Hashtbl.length responders >= k - 2 || !resolved || !unknown = 0);
+        let quorum = k - 2 in
+        wait_until (fun () -> Hashtbl.length responders >= quorum || !resolved || !unknown = 0);
         if !resolved || !unknown = 0 then completion := true
       | [] -> completion := true
       | _ -> assert false (* heard >= k-2 others, so at most one is missing *))

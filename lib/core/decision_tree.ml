@@ -38,7 +38,7 @@ let rec internal_nodes = function
 
 let rec depth = function
   | Leaf _ -> 0
-  | Node { zero; one; _ } -> 1 + max (depth zero) (depth one)
+  | Node { zero; one; _ } -> 1 + Int.max (depth zero) (depth one)
 
 let determine ~query ~offset tree =
   let rec walk tree spent =

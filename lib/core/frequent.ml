@@ -17,7 +17,7 @@ let create () = { per_seg = [||]; seen = Hashtbl.create 64; totals = [||] }
 let ensure t seg =
   let cur = Array.length t.per_seg in
   if seg >= cur then begin
-    let grown = Array.make (max (seg + 1) (max 4 (2 * cur))) Strmap.empty in
+    let grown = Array.make (Int.max (seg + 1) (Int.max 4 (2 * cur))) Strmap.empty in
     Array.blit t.per_seg 0 grown 0 cur;
     t.per_seg <- grown;
     let totals = Array.make (Array.length grown) 0 in

@@ -31,7 +31,7 @@ let find_first wanted =
         let n = Bitarray.length x in
         let rec go i = if i >= n then None else if Bitarray.get x i = wanted then Some i else go (i + 1) in
         go 0);
-    equal = ( = );
+    equal = Option.equal Int.equal;
     describe = (function Some i -> string_of_int i | None -> "none");
   }
 
@@ -54,7 +54,8 @@ let longest_run =
         let n = Bitarray.length x in
         let best = ref 0 and cur = ref 0 in
         for i = 0 to n - 1 do
-          if i > 0 && Bitarray.get x i = Bitarray.get x (i - 1) then incr cur else cur := 1;
+          if i > 0 && Bool.equal (Bitarray.get x i) (Bitarray.get x (i - 1)) then incr cur
+          else cur := 1;
           if !cur > !best then best := !cur
         done;
         !best);

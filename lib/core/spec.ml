@@ -107,4 +107,5 @@ let byz_multicycle =
   }
 
 let within bounds ~k ~n ~t ~b ~measured =
-  bounds.resilience ~k ~t && float_of_int measured <= bounds.q_bound ~k ~n ~t ~b
+  bounds.resilience ~k ~t
+  && Float.compare (float_of_int measured) (bounds.q_bound ~k ~n ~t ~b) <= 0

@@ -147,6 +147,7 @@ let load path =
       let lineno = ref 0 in
       (try
          while true do
+           (* dr-lint: allow L5 — trace persistence; load runs outside the event loop *)
            let line = input_line ic in
            incr lineno;
            if String.trim line <> "" then

@@ -109,8 +109,9 @@ let pp_lanes ?(max_events = 200) ~k ppf trace =
         Format.fprintf ppf "%8.3f" time;
         Array.iter
           (fun c ->
-            let c = if String.length c > lane_width - 2 then String.sub c 0 (lane_width - 2) else c in
-            Format.fprintf ppf " |%-*s" (lane_width - 2) c)
+            let keep = lane_width - 2 in
+            let c = if String.length c > keep then String.sub c 0 keep else c in
+            Format.fprintf ppf " |%-*s" keep c)
           cells;
         Format.pp_print_newline ppf ()
       end)

@@ -1,0 +1,33 @@
+(** Run the rules over sources, files, and trees. *)
+
+exception Error of string
+(** IO or parse failure; carries [path: reason]. *)
+
+type file_report = {
+  path : string;
+  findings : Finding.t list;  (** after pragma suppression, sorted *)
+  suppressed : (Finding.t * Pragma.t) list;
+  unused_pragmas : Pragma.t list;
+}
+
+type report = {
+  files : file_report list;  (** only files with findings/pragma activity *)
+  files_scanned : int;
+  total_findings : int;
+  total_suppressed : int;
+}
+
+val lint_source : ?ctx:Rules.ctx -> path:string -> string -> file_report
+(** Lint in-memory source. [ctx] defaults to [Rules.ctx_of_path path]. *)
+
+val lint_file : ?ctx:Rules.ctx -> string -> file_report
+
+val lint_paths : string list -> report
+(** Walk directories (skipping [_build], dotdirs, and [lint_fixtures]),
+    lint every [.ml], context derived per file from its path. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Findings as [file:line:col [RULE] message] lines plus a summary. *)
+
+val clean : report -> bool
+(** No findings and no unused pragmas. *)

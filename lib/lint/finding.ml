@@ -1,0 +1,54 @@
+type rule = L1 | L2 | L3 | L4 | L5
+
+let rule_name = function
+  | L1 -> "L1"
+  | L2 -> "L2"
+  | L3 -> "L3"
+  | L4 -> "L4"
+  | L5 -> "L5"
+
+let rule_of_string = function
+  | "L1" -> Some L1
+  | "L2" -> Some L2
+  | "L3" -> Some L3
+  | "L4" -> Some L4
+  | "L5" -> Some L5
+  | _ -> None
+
+let rule_doc = function
+  | L1 -> "determinism: no ambient randomness or wall-clock in simulated code"
+  | L2 -> "monomorphic compare: no polymorphic compare/=/min/max on structured operands"
+  | L3 -> "no direct stdout/stderr in lib/: print through a formatter parameter"
+  | L4 -> "query confinement: only Exec/Problem/Dr_source may touch Data_source.query"
+  | L5 -> "fiber safety: no exit/blocking IO inside lib/core or lib/engine"
+
+type t = { file : string; line : int; col : int; rule : rule; msg : string }
+
+let make ~file ~loc rule msg =
+  let start = loc.Ppxlib.Location.loc_start in
+  {
+    file;
+    line = start.Lexing.pos_lnum;
+    col = start.Lexing.pos_cnum - start.Lexing.pos_bol;
+    rule;
+    msg;
+  }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare (rule_name a.rule) (rule_name b.rule)
+
+let pp ppf f =
+  Format.fprintf ppf "%s:%d:%d [%s] %s" f.file f.line f.col (rule_name f.rule) f.msg
+
+(* The short form the golden tests key on: [file:line [RULE]]. *)
+let pp_short ppf f =
+  Format.fprintf ppf "%s:%d [%s]" (Filename.basename f.file) f.line (rule_name f.rule)
+
+let to_short f = Format.asprintf "%a" pp_short f

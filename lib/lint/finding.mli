@@ -1,0 +1,22 @@
+(** Lint findings and the rule taxonomy (see DESIGN.md "Static invariants"). *)
+
+type rule = L1 | L2 | L3 | L4 | L5
+
+val rule_name : rule -> string
+val rule_of_string : string -> rule option
+
+val rule_doc : rule -> string
+(** One-line statement of the invariant the rule machine-checks. *)
+
+type t = { file : string; line : int; col : int; rule : rule; msg : string }
+
+val make : file:string -> loc:Ppxlib.Location.t -> rule -> string -> t
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** [file:line:col [RULE] message] — the CLI output format. *)
+
+val pp_short : Format.formatter -> t -> unit
+(** [basename:line [RULE]] — the stable form golden tests compare against. *)
+
+val to_short : t -> string

@@ -1,0 +1,98 @@
+(* Suppression pragmas.
+
+   A comment opening with the marker, i.e.
+
+     dr-lint: allow L2 — reason
+
+   wrapped in ordinary comment parens, suppresses findings of that rule on
+   the comment's own line and on the next source line. The reason text is
+   kept for the summary; pragmas that suppress nothing are reported as
+   unused so stale allowances don't accumulate. (The scanner insists on a
+   comment opener directly before the marker, so prose that merely mentions
+   the syntax — like this block — is not a pragma.) *)
+
+type t = { line : int; rule : Finding.rule; reason : string }
+
+let marker = "dr-lint:"
+
+let is_space c = c = ' ' || c = '\t'
+
+let find_sub ~start hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.equal (String.sub hay i nn) needle then Some i
+    else go (i + 1)
+  in
+  go start
+
+let strip s =
+  let n = String.length s in
+  let i = ref 0 and j = ref (n - 1) in
+  while !i < n && is_space s.[!i] do incr i done;
+  while !j >= !i && is_space s.[!j] do decr j done;
+  String.sub s !i (!j - !i + 1)
+
+(* Does [text.[.. at)] end with a comment opener (modulo spaces)? *)
+let opener_before text at =
+  let rec back i = if i >= 0 && is_space text.[i] then back (i - 1) else i in
+  let i = back (at - 1) in
+  i >= 1 && text.[i] = '*' && text.[i - 1] = '('
+
+(* Parse one line; [None] when it carries no (well-formed) pragma. *)
+let of_line ~line text =
+  match find_sub ~start:0 text marker with
+  | None -> None
+  | Some at when not (opener_before text at) -> None
+  | Some at -> (
+    let rest = String.sub text (at + String.length marker) (String.length text - at - String.length marker) in
+    let rest = strip rest in
+    let verb = "allow" in
+    let nr = String.length rest and nv = String.length verb in
+    if nr < nv || not (String.equal (String.sub rest 0 nv) verb) then None
+    else
+      let rest = strip (String.sub rest (String.length verb) (String.length rest - String.length verb)) in
+      (* Rule token: up to the first space (or end). *)
+      let tok_end = match find_sub ~start:0 rest " " with Some i -> i | None -> String.length rest in
+      let tok = String.sub rest 0 tok_end in
+      match Finding.rule_of_string tok with
+      | None -> None
+      | Some rule ->
+        let reason = strip (String.sub rest tok_end (String.length rest - tok_end)) in
+        (* Drop a leading em-dash / hyphen separator and the comment close. *)
+        let reason =
+          let drop_prefix p s =
+            let ns = String.length s and np = String.length p in
+            if ns >= np && String.equal (String.sub s 0 np) p then
+              strip (String.sub s np (ns - np))
+            else s
+          in
+          let s = drop_prefix "\xe2\x80\x94" (drop_prefix "--" (drop_prefix "- " reason)) in
+          let s = drop_prefix "\xe2\x80\x94" s in
+          match find_sub ~start:0 s "*)" with
+          | Some i -> strip (String.sub s 0 i)
+          | None -> s
+        in
+        Some { line; rule; reason })
+
+let scan source =
+  let lines = String.split_on_char '\n' source in
+  let _, acc =
+    List.fold_left
+      (fun (line, acc) text ->
+        match of_line ~line text with
+        | Some p -> (line + 1, p :: acc)
+        | None -> (line + 1, acc))
+      (1, []) lines
+  in
+  List.rev acc
+
+let covers p (f : Finding.t) =
+  (match (p.rule, f.rule) with
+  | Finding.L1, Finding.L1
+  | Finding.L2, Finding.L2
+  | Finding.L3, Finding.L3
+  | Finding.L4, Finding.L4
+  | Finding.L5, Finding.L5 -> true
+  | _ -> false)
+  && (f.line = p.line || f.line = p.line + 1)

@@ -1,0 +1,10 @@
+(** [(* dr-lint: allow L2 — reason *)] suppression comments. *)
+
+type t = { line : int; rule : Finding.rule; reason : string }
+
+val scan : string -> t list
+(** All pragmas in a source file, in line order. *)
+
+val covers : t -> Finding.t -> bool
+(** Does this pragma suppress this finding? True when the rules match and
+    the finding sits on the pragma's line or the line directly below it. *)

@@ -1,0 +1,21 @@
+(** The five static rules (L1–L5) as one Parsetree pass. *)
+
+type ctx = {
+  in_lib : bool;  (** under lib/: L2 and L3 apply, and L1 in full *)
+  in_core_engine : bool;  (** under lib/core or lib/engine: L5 applies *)
+  allow_random : bool;  (** lib/engine/prng.ml: the one seeded PRNG *)
+  allow_query : bool;  (** Exec/Problem/Dr_source: the Q-metering boundary *)
+}
+
+val ctx_of_path : string -> ctx
+(** Derive the rule context from a path ("lib/stats/table.ml", absolute
+    paths and [..] segments included). *)
+
+val lib_ctx : ctx
+(** Plain lib/ context (for fixtures). *)
+
+val core_ctx : ctx
+(** lib/core-style context: everything in [lib_ctx] plus L5. *)
+
+val collect : ctx:ctx -> file:string -> Ppxlib.structure -> Finding.t list
+(** All findings, sorted by position. Pragmas are applied by {!Driver}. *)

@@ -42,7 +42,7 @@ let demonstrate ~(run : runner) ?(victim = 0) ?f_set ?(seed = 1L) ?b ~k ~n () =
       Error "protocol failed E1 outright (victim has no correct output under crashes)"
     else begin
       let queried =
-        List.sort_uniq compare (List.map fst (Trace.query_view trace1 victim))
+        List.sort_uniq Int.compare (List.map fst (Trace.query_view trace1 victim))
       in
       let e1_victim_queries = List.length queried in
       if e1_victim_queries >= n then
@@ -84,7 +84,10 @@ let demonstrate ~(run : runner) ?(victim = 0) ?f_set ?(seed = 1L) ?b ~k ~n () =
              and schedule fully determine its behaviour. *)
           Trace.received_view tr victim
         in
-        let views_identical = view trace1 = view trace2 in
+        let delivery_equal (t1, s1, g1) (t2, s2, g2) =
+          Float.equal t1 t2 && Int.equal s1 s2 && String.equal g1 g2
+        in
+        let views_identical = List.equal delivery_equal (view trace1) (view trace2) in
         Ok
           {
             victim;

@@ -48,7 +48,7 @@ let attack ~(run : runner) ?(victim = 0) ?f_count ?(hidden = `Uniform) ~k ~n ~se
       if List.mem victim report.Problem.wrong then incr failures;
       let queried = List.map fst (Trace.query_view trace victim) in
       if List.mem hidden_bit queried then incr hits;
-      q_sum := !q_sum + List.length (List.sort_uniq compare queried))
+      q_sum := !q_sum + List.length (List.sort_uniq Int.compare queried))
     seeds;
   let q_mean = if runs = 0 then 0. else float_of_int !q_sum /. float_of_int runs in
   {

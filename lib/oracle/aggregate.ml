@@ -2,7 +2,7 @@ let median values =
   let m = Array.length values in
   if m = 0 then invalid_arg "Aggregate.median: empty";
   let sorted = Array.copy values in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   sorted.((m - 1) / 2)
 
 let cellwise_median reports =

@@ -136,7 +136,7 @@ let download_based ?(protocol = `Committee) p =
   let medians = Array.init p.peers (fun _ -> node_median feed picked ~value_of) in
   let published = publish p fault (fun i -> medians.(i)) in
   let to_cells bits = (bits + Feed.value_bits - 1) / Feed.value_bits in
-  let max_node = Array.fold_left max 0 max_bit_queries in
+  let max_node = Array.fold_left Int.max 0 max_bit_queries in
   {
     method_name =
       (match protocol with

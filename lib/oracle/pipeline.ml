@@ -49,7 +49,8 @@ let publish ?(seed = 1L) ?(rushing = true) ~feed ~fault ~honest_report () =
          cell-wise median. Waiting for more risks waiting forever. *)
       let received = ref [] in
       let senders = Hashtbl.create 16 in
-      while Hashtbl.length senders < k - t do
+      let quorum = k - t in
+      while Hashtbl.length senders < quorum do
         let src, { report } = S.receive () in
         if (not (Hashtbl.mem senders src)) && Array.length report = d then begin
           Hashtbl.add senders src ();

@@ -25,7 +25,7 @@ let copy t = { len = t.len; data = Bytes.copy t.data }
 let equal a b = a.len = b.len && Bytes.equal a.data b.data
 
 let compare a b =
-  let c = Stdlib.compare a.len b.len in
+  let c = Int.compare a.len b.len in
   if c <> 0 then c else Bytes.compare a.data b.data
 
 let random prng len =
@@ -73,7 +73,9 @@ let first_diff a b =
     if i >= Bytes.length a.data then None
     else if Bytes.get a.data i <> Bytes.get b.data i then begin
       let rec bit_scan j =
-        if j >= a.len then None else if get a j <> get b j then Some j else bit_scan (j + 1)
+        if j >= a.len then None
+        else if not (Bool.equal (get a j) (get b j)) then Some j
+        else bit_scan (j + 1)
       in
       bit_scan (i * 8)
     end

@@ -20,7 +20,7 @@ let quantile sorted q =
   if n = 1 then sorted.(0)
   else begin
     let pos = q *. float_of_int (n - 1) in
-    let lo = max 0 (min (n - 2) (int_of_float pos)) in
+    let lo = Int.max 0 (Int.min (n - 2) (int_of_float pos)) in
     let frac = pos -. float_of_int lo in
     (sorted.(lo) *. (1. -. frac)) +. (sorted.(lo + 1) *. frac)
   end
@@ -28,7 +28,7 @@ let quantile sorted q =
 let quantiles samples =
   if samples = [] then invalid_arg "Bench_io.quantiles: empty sample";
   let a = Array.of_list samples in
-  Array.sort compare a;
+  Array.sort Float.compare a;
   (quantile a 0.25, quantile a 0.5, quantile a 0.75)
 
 let of_samples ~name ~unit_ samples =
@@ -85,7 +85,7 @@ module Json = struct
       match c.src.[c.pos] with
       | '"' -> c.pos <- c.pos + 1
       | '\\' ->
-        if c.pos + 1 >= String.length c.src then fail c "bad escape";
+        if c.pos >= String.length c.src - 1 then fail c "bad escape";
         (match c.src.[c.pos + 1] with
         | '"' -> Buffer.add_char b '"'
         | '\\' -> Buffer.add_char b '\\'

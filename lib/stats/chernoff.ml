@@ -4,7 +4,7 @@ let log_fact =
   fun v ->
     let cur = Array.length !cache in
     if v >= cur then begin
-      let grown = Array.make (max (v + 1) (2 * cur)) 0. in
+      let grown = Array.make (Int.max (v + 1) (2 * cur)) 0. in
       Array.blit !cache 0 grown 0 cur;
       for i = cur to Array.length grown - 1 do
         grown.(i) <- grown.(i - 1) +. log (float_of_int i)

@@ -15,7 +15,7 @@ let percentile sorted q =
   else begin
     let pos = q *. float_of_int (m - 1) in
     let lo = int_of_float (floor pos) in
-    let hi = min (m - 1) (lo + 1) in
+    let hi = Int.min (m - 1) (lo + 1) in
     let frac = pos -. float_of_int lo in
     (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
   end
@@ -23,7 +23,7 @@ let percentile sorted q =
 let of_floats values =
   if values = [] then invalid_arg "Summary.of_floats: empty";
   let arr = Array.of_list values in
-  Array.sort compare arr;
+  Array.sort Float.compare arr;
   let count = Array.length arr in
   let total = Array.fold_left ( +. ) 0. arr in
   let mean = total /. float_of_int count in

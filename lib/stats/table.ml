@@ -45,7 +45,10 @@ let render t =
   List.iter (function Row cells -> emit_row cells | Rule -> rule ()) rows;
   Buffer.contents buf
 
-let print t = print_string (render t)
+(* dr-lint: allow L3 — the documented default sink; callers in bin//bench pass nothing *)
+let print ?(ppf = Format.std_formatter) t =
+  Format.pp_print_string ppf (render t);
+  Format.pp_print_flush ppf ()
 
 let cell_int = string_of_int
 let cell_float ?(decimals = 1) v = Printf.sprintf "%.*f" decimals v

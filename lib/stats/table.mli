@@ -16,7 +16,10 @@ val add_rule : t -> unit
 (** A horizontal separator at this position. *)
 
 val render : t -> string
-val print : t -> unit
+
+val print : ?ppf:Format.formatter -> t -> unit
+(** Render to [ppf] and flush; defaults to [Format.std_formatter] so the
+    CLIs and bench binaries keep their one-line call sites. *)
 
 val cell_int : int -> string
 val cell_float : ?decimals:int -> float -> string

@@ -1,0 +1,5 @@
+(* Fixture: L1 determinism violations. Never compiled — parsed by dr_lint only. *)
+let roll () = Random.int 6
+let stamp () = Sys.time ()
+let key v = Hashtbl.hash v
+let tbl () = Hashtbl.create ~random:true 16

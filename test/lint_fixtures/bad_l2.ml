@@ -1,0 +1,4 @@
+(* Fixture: L2 polymorphic-compare violations. Never compiled. *)
+let sort_floats a = Array.sort compare a
+let widest xs ys = max (List.length xs) (List.length ys)
+let fold_max xs = List.fold_left max 0 xs

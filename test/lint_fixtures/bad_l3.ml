@@ -1,0 +1,4 @@
+(* Fixture: L3 direct-stdout violations. Never compiled. *)
+let shout s = print_endline s
+let report n = Printf.printf "n=%d\n" n
+let moan s = prerr_string s

@@ -1,0 +1,4 @@
+(* Fixture: L4 query-confinement violation — a protocol touching the data
+   source directly instead of the metered query function. Never compiled. *)
+let sneak src i = Data_source.query src i
+let sneak_fn src = Dr_source.Data_source.query_fn src

@@ -1,0 +1,3 @@
+(* Fixture: L5 fiber-safety violations (lib/core-style context). Never compiled. *)
+let bail () = exit 1
+let stall ic = input_line ic

@@ -1,0 +1,5 @@
+(* Fixture: pragma suppression — the first violation is waived, the second
+   identical one on an uncovered line must still be reported. *)
+(* dr-lint: allow L3 — fixture exercises the escape hatch *)
+let ok s = print_endline s
+let bad s = print_endline s

@@ -1,0 +1,183 @@
+(* dr_lint: fixture golden tests for each rule, pragma behaviour, and the
+   "live tree is lint-clean" gate.
+
+   Fixtures live in lint_fixtures/ (never compiled; dr_lint parses them).
+   The live-tree test runs over ../lib ../bin ../bench — the copies dune
+   places next to the test in _build, declared as deps in test/dune. *)
+
+module Driver = Dr_lint.Driver
+module Rules = Dr_lint.Rules
+module Finding = Dr_lint.Finding
+module Pragma = Dr_lint.Pragma
+
+let fixture name = Filename.concat "lint_fixtures" name
+let shorts (r : Driver.file_report) = List.map Finding.to_short r.findings
+
+let check_fixture ?(ctx = Rules.lib_ctx) name expected () =
+  let r = Driver.lint_file ~ctx (fixture name) in
+  Alcotest.(check (list string)) name expected (shorts r)
+
+(* ---- one known-bad fixture per rule, golden file:line [RULE] output ---- *)
+
+let l1 =
+  check_fixture "bad_l1.ml"
+    [ "bad_l1.ml:2 [L1]"; "bad_l1.ml:3 [L1]"; "bad_l1.ml:4 [L1]"; "bad_l1.ml:5 [L1]" ]
+
+let l2 =
+  check_fixture "bad_l2.ml" [ "bad_l2.ml:2 [L2]"; "bad_l2.ml:3 [L2]"; "bad_l2.ml:4 [L2]" ]
+
+let l3 =
+  check_fixture "bad_l3.ml" [ "bad_l3.ml:2 [L3]"; "bad_l3.ml:3 [L3]"; "bad_l3.ml:4 [L3]" ]
+
+let l4 = check_fixture "bad_l4.ml" [ "bad_l4.ml:3 [L4]"; "bad_l4.ml:4 [L4]" ]
+
+let l5 =
+  check_fixture ~ctx:Rules.core_ctx "bad_l5.ml" [ "bad_l5.ml:2 [L5]"; "bad_l5.ml:3 [L5]" ]
+
+(* The same sources are silent in the zones where their rules don't apply:
+   prints are fine in bin/, exit is fine outside core/engine. *)
+let zone_scoping () =
+  let bin_ctx = Rules.ctx_of_path "bin/whatever.ml" in
+  let r = Driver.lint_file ~ctx:bin_ctx (fixture "bad_l3.ml") in
+  Alcotest.(check (list string)) "prints allowed in bin/" [] (shorts r);
+  let r = Driver.lint_file ~ctx:Rules.lib_ctx (fixture "bad_l5.ml") in
+  Alcotest.(check (list string)) "exit allowed outside core/engine" [] (shorts r)
+
+(* ---- pragmas ---- *)
+
+let pragma_suppression () =
+  let r = Driver.lint_file ~ctx:Rules.lib_ctx (fixture "pragma_allowed.ml") in
+  Alcotest.(check (list string)) "only the uncovered line reported"
+    [ "pragma_allowed.ml:5 [L3]" ] (shorts r);
+  Alcotest.(check int) "one finding suppressed" 1 (List.length r.suppressed);
+  Alcotest.(check (list int)) "no unused pragmas" []
+    (List.map (fun p -> p.Pragma.line) r.unused_pragmas);
+  match r.suppressed with
+  | [ (f, p) ] ->
+    Alcotest.(check string) "suppressed finding is the covered line" "pragma_allowed.ml:4 [L3]"
+      (Finding.to_short f);
+    Alcotest.(check string) "reason survives parsing" "fixture exercises the escape hatch"
+      p.Pragma.reason
+  | _ -> Alcotest.fail "expected exactly one suppressed finding"
+
+let pragma_unused () =
+  let src = "(* dr-lint: allow L2 -- nothing here violates L2 *)\nlet x = 1\n" in
+  let r = Driver.lint_source ~ctx:Rules.lib_ctx ~path:"lib/fake.ml" src in
+  Alcotest.(check int) "no findings" 0 (List.length r.findings);
+  Alcotest.(check int) "pragma reported unused" 1 (List.length r.unused_pragmas)
+
+let pragma_needs_comment_opener () =
+  (* Prose that merely mentions the syntax is not a pragma. *)
+  let src = "(* docs: write dr-lint: allow L3 above the line *)\nlet f s = print_endline s\n" in
+  let r = Driver.lint_source ~ctx:Rules.lib_ctx ~path:"lib/fake.ml" src in
+  Alcotest.(check (list string)) "finding not suppressed by prose" [ "fake.ml:2 [L3]" ]
+    (shorts r)
+
+(* ---- context derivation ---- *)
+
+let ctx_of_path () =
+  let c = Rules.ctx_of_path "lib/engine/prng.ml" in
+  Alcotest.(check bool) "prng may use Random" true c.Rules.allow_random;
+  let c = Rules.ctx_of_path "lib/core/exec.ml" in
+  Alcotest.(check bool) "exec may query" true c.Rules.allow_query;
+  Alcotest.(check bool) "exec is fiber zone" true c.Rules.in_core_engine;
+  let c = Rules.ctx_of_path "../lib/stats/table.ml" in
+  Alcotest.(check bool) "relative paths still resolve lib/" true c.Rules.in_lib;
+  Alcotest.(check bool) "stats is not fiber zone" false c.Rules.in_core_engine;
+  let c = Rules.ctx_of_path "bench/bench_regress.ml" in
+  Alcotest.(check bool) "bench is outside lib/" false c.Rules.in_lib
+
+(* ---- the live tree ---- *)
+
+let roots = [ "../lib"; "../bin"; "../bench" ]
+
+let live_tree_clean () =
+  let report = Driver.lint_paths roots in
+  let rendered = Format.asprintf "%a" Driver.pp_report report in
+  Alcotest.(check bool) "scans the whole tree" true (report.Driver.files_scanned > 50);
+  if not (Driver.clean report) then Alcotest.failf "live tree has findings:@.%s" rendered;
+  Alcotest.(check int) "pragmas in deliberate use" 2 report.Driver.total_suppressed
+
+(* Deleting a pragma must re-expose the violation it waives, pointing at the
+   right file:line [RULE] — the acceptance criterion for the escape hatch. *)
+let pragma_deletion_detected () =
+  List.iter
+    (fun (path, expected_rule, anchor) ->
+      let ic = open_in_bin path in
+      let src =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (* Blank the pragma lines, preserving line numbers. *)
+      let lines = String.split_on_char '\n' src in
+      let stripped =
+        String.concat "\n"
+          (List.map
+             (fun l ->
+               match Pragma.scan l with [] -> l | _ -> "")
+             lines)
+      in
+      let anchor_line =
+        let rec find i = function
+          | [] -> Alcotest.failf "%s: anchor %S not found" path anchor
+          | l :: rest ->
+            let present =
+              let nl = String.length l and na = String.length anchor in
+              let rec scan j =
+                j + na <= nl && (String.equal (String.sub l j na) anchor || scan (j + 1))
+              in
+              scan 0
+            in
+            if present then i else find (i + 1) rest
+        in
+        find 1 lines
+      in
+      let r = Driver.lint_source ~path stripped in
+      let expected =
+        Printf.sprintf "%s:%d [%s]" (Filename.basename path) anchor_line
+          (Finding.rule_name expected_rule)
+      in
+      Alcotest.(check (list string))
+        (path ^ " without its pragma") [ expected ]
+        (List.map Finding.to_short r.findings))
+    [
+      ("../lib/stats/table.ml", Finding.L3, "Format.std_formatter");
+      ("../lib/engine/trace.ml", Finding.L5, "input_line ic");
+    ]
+
+(* Reverting an L2/L3 fix must re-expose the finding at the original site. *)
+let fix_reversion_detected () =
+  let cases =
+    [
+      ( "lib/stats/summary.ml",
+        "let _ = Array.sort compare arr\n",
+        "summary.ml:1 [L2]" );
+      ( "lib/stats/table.ml",
+        "let print t = print_string (render t)\n",
+        "table.ml:1 [L3]" );
+    ]
+  in
+  List.iter
+    (fun (path, src, expected) ->
+      let r = Driver.lint_source ~path src in
+      Alcotest.(check (list string)) ("reverted " ^ path) [ expected ]
+        (List.map Finding.to_short r.findings))
+    cases
+
+let suite =
+  [
+    Alcotest.test_case "fixture: L1 determinism" `Quick l1;
+    Alcotest.test_case "fixture: L2 polymorphic compare" `Quick l2;
+    Alcotest.test_case "fixture: L3 direct stdout" `Quick l3;
+    Alcotest.test_case "fixture: L4 query confinement" `Quick l4;
+    Alcotest.test_case "fixture: L5 fiber safety" `Quick l5;
+    Alcotest.test_case "zone scoping" `Quick zone_scoping;
+    Alcotest.test_case "pragma: suppression + golden" `Quick pragma_suppression;
+    Alcotest.test_case "pragma: unused is reported" `Quick pragma_unused;
+    Alcotest.test_case "pragma: needs a comment opener" `Quick pragma_needs_comment_opener;
+    Alcotest.test_case "ctx_of_path zones" `Quick ctx_of_path;
+    Alcotest.test_case "live tree is lint-clean" `Quick live_tree_clean;
+    Alcotest.test_case "deleting a pragma re-exposes the finding" `Quick pragma_deletion_detected;
+    Alcotest.test_case "reverting a fix re-exposes the finding" `Quick fix_reversion_detected;
+  ]
