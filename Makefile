@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench bench-check bench-diff check check-smoke clean
+.PHONY: all build test lint bench bench-check bench-diff check check-smoke net-smoke clean
 
 all: build
 
@@ -40,6 +40,11 @@ check:
 
 check-smoke:
 	dune build @check-smoke
+
+# Socket-runtime smoke: run registry protocols as k real OS processes over
+# loopback (dr_download --transport net) and require the download to verify.
+net-smoke:
+	dune build @net-smoke
 
 clean:
 	dune clean

@@ -19,13 +19,9 @@ open Cmdliner
 module Check = Dr_check.Check
 module Repro = Dr_check.Repro
 module Registry = Dr_core.Registry
+module Cli_args = Dr_cli.Cli_args
 
-let protocol_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "p"; "protocol" ] ~docv:"NAME"
-        ~doc:"Protocol to check (a registry name). Default: every registry protocol.")
+let protocol_arg = Cli_args.protocol_opt_arg ~extra:"Default: every registry protocol." ()
 
 let all_arg =
   Arg.(value & flag & info [ "all" ] ~doc:"Check every registry protocol (the default).")
@@ -43,8 +39,7 @@ let dfs_arg =
     & info [ "dfs" ] ~docv:"N"
         ~doc:"Executions of the budget spent on the systematic DFS prefix (default budget/4).")
 
-let seed_arg =
-  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Fuzzer seed (default 1).")
+let seed_arg = Cli_args.seed_arg
 
 let max_failures_arg =
   Arg.(
@@ -99,13 +94,8 @@ let run_fuzz protocol budget dfs_budget seed max_failures out =
   let entries =
     match protocol with
     | None -> Ok Registry.all
-    | Some name ->
-      (match Registry.find name with
-      | Some e -> Ok [ e ]
-      | None ->
-        Error
-          (Printf.sprintf "unknown protocol %S (known: %s)" name
-             (String.concat ", " Registry.names)))
+    | Some name -> (
+      try Ok [ Cli_args.resolve_protocol name ] with Failure msg -> Error msg)
   in
   match entries with
   | Error msg -> `Error (false, msg)
@@ -114,7 +104,9 @@ let run_fuzz protocol budget dfs_budget seed max_failures out =
     List.iter
       (fun entry ->
         let target = Check.of_registry entry in
-        let outcome = Check.fuzz ?dfs_budget ~max_failures ~budget ~seed target in
+        let outcome =
+          Check.fuzz ?dfs_budget ~max_failures ~budget ~seed:(Int64.to_int seed) target
+        in
         Fmt.pr "%a@." Check.pp_outcome outcome;
         write_failures out target.Check.name outcome.Check.failures;
         total := !total + List.length outcome.Check.failures)

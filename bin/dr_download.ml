@@ -4,21 +4,14 @@
    Examples:
      dr_download -p crash-general -k 16 -n 4096 -t 5 --crash midcast:2 --latency jitter
      dr_download -p byz-committee -k 9 -n 1024 -t 4 --attack collude
-     dr_download -p byz-2cycle -k 64 -n 8192 -t 8 --segments 4 --trace *)
+     dr_download -p byz-2cycle -k 64 -n 8192 -t 8 --segments 4 --trace
+     dr_download -p crash-general -k 8 -n 2048 -t 2 --transport net *)
 
 open Cmdliner
 open Dr_core
-module Latency = Dr_adversary.Latency
-module Crash_plan = Dr_adversary.Crash_plan
-module Prng = Dr_engine.Prng
+module Cli_args = Dr_cli.Cli_args
 
-let protocol_arg =
-  let doc =
-    Printf.sprintf "Protocol to run: one of %s, or 'auto'."
-      (String.concat ", " Registry.names)
-  in
-  Arg.(value & opt string "auto" & info [ "p"; "protocol" ] ~docv:"NAME" ~doc)
-
+let protocol_arg = Cli_args.protocol_arg ~extra:"Or 'auto'." ~default:"auto" ()
 let peers_arg = Arg.(value & opt int 8 & info [ "k"; "peers" ] ~docv:"K" ~doc:"Number of peers.")
 let bits_arg = Arg.(value & opt int 1024 & info [ "n"; "bits" ] ~docv:"N" ~doc:"Input size in bits.")
 let faults_arg = Arg.(value & opt int 2 & info [ "t"; "faults" ] ~docv:"T" ~doc:"Faulty peers.")
@@ -29,23 +22,14 @@ let model_arg =
     & opt (enum [ ("crash", Problem.Crash); ("byzantine", Problem.Byzantine) ]) Problem.Crash
     & info [ "model" ] ~doc:"Fault model: crash or byzantine.")
 
-let seed_arg = Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"Random seed.")
+let seed_arg = Cli_args.seed_arg
 
 let msg_bits_arg =
   Arg.(value & opt (some int) None & info [ "B"; "msg-bits" ] ~doc:"Message size bound in bits.")
 
-let latency_arg =
-  Arg.(value & opt string "unit" & info [ "latency" ] ~docv:"POLICY"
-         ~doc:"Latency policy: unit, jitter, rush (Byzantine messages fast), or sized.")
-
-let crash_arg =
-  Arg.(value & opt string "midcast:1" & info [ "crash" ] ~docv:"PLAN"
-         ~doc:"Crash plan for crash-model faulty peers: none, silent, midcast:J, \
-               staggered, or afterq:J.")
-
-let attack_arg =
-  Arg.(value & opt string "default" & info [ "attack" ] ~docv:"ATTACK"
-         ~doc:"Byzantine attack: default, silent, flip, equivocate, collude, nearmiss, lie.")
+let latency_arg = Cli_args.latency_arg ~default:"unit"
+let crash_arg = Cli_args.crash_arg ~default:"midcast:1"
+let attack_arg = Cli_args.attack_arg
 
 let segments_arg =
   Arg.(value & opt (some int) None & info [ "segments" ] ~doc:"Segment count override (randomized protocols).")
@@ -65,39 +49,82 @@ let explore_arg =
            ~doc:"Instead of one run, DFS-explore up to BUDGET delivery schedules \
                  and report failures (keep k and n tiny).")
 
-let run protocol k n t model seed msg_bits latency crash attack segments trace_flag matrix_flag trace_out explore =
+let transport_arg =
+  Arg.(
+    value
+    & opt (enum [ ("sim", `Sim); ("net", `Net) ]) `Sim
+    & info [ "transport" ]
+        ~doc:"Runtime: 'sim' (the deterministic simulator) or 'net' (one OS process \
+              per peer over loopback sockets, querying a real source server).")
+
+let source_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "source" ] ~docv:"HOST:PORT"
+        ~doc:"With --transport net: use an already-running dr_source_server instead \
+              of spawning one in-process.")
+
+let net_timeout_arg =
+  Arg.(value & opt float 60.
+       & info [ "net-timeout" ] ~docv:"SECONDS"
+           ~doc:"With --transport net: wall-clock budget before stuck peers are killed.")
+
+let parse_source = function
+  | None -> None
+  | Some spec -> (
+    match String.rindex_opt spec ':' with
+    | Some i ->
+      Some
+        {
+          Dr_net.Runner.host = String.sub spec 0 i;
+          port = int_of_string (String.sub spec (i + 1) (String.length spec - i - 1));
+        }
+    | None -> failwith ("--source expects HOST:PORT, got " ^ spec))
+
+let run_net ~protocol ~attack ~segments ~crash ~source ~timeout inst =
+  let entry =
+    match protocol with
+    | "auto" ->
+      let (module P : Exec.PROTOCOL) = Select.for_instance inst in
+      Cli_args.resolve_protocol P.name
+    | name -> Cli_args.resolve_protocol name
+  in
+  let core = entry.Registry.core ~attack ?segments inst in
+  let crash = Cli_args.crash_plan ~fault:inst.Problem.fault crash in
+  Dr_net.Runner.run ~timeout ?source:(parse_source source) ~crash core inst
+
+let run protocol k n t model seed msg_bits latency crash attack segments trace_flag matrix_flag
+    trace_out explore transport source net_timeout =
   if t >= k then `Error (false, "need t < k")
   else if n < k then `Error (false, "need n >= k")
   else begin
     let inst = Problem.random_instance ~seed ?b:msg_bits ~model ~k ~n ~t () in
+    match transport with
+    | `Net ->
+      if trace_flag || matrix_flag || trace_out <> None then
+        `Error (false, "--trace/--matrix record simulator events; not available with --transport net")
+      else if explore <> None then
+        `Error (false, "--explore drives the simulator's schedule arbiter; not available with --transport net")
+      else begin
+        let report =
+          run_net ~protocol ~attack ~segments ~crash ~source ~timeout:net_timeout inst
+        in
+        Format.printf "%a@." Problem.pp_report report;
+        if report.Problem.ok then `Ok () else `Error (false, "download failed")
+      end
+    | `Sim ->
     let trace =
       if trace_flag || matrix_flag || trace_out <> None then Some (Dr_engine.Trace.create ())
       else None
     in
-    let lat =
-      match latency with
-      | "unit" -> Latency.unit_delay
-      | "jitter" -> Latency.jittered (Prng.create seed)
-      | "rush" ->
-        Latency.rushing ~fast:(Dr_adversary.Fault.is_faulty inst.Problem.fault) ~eps:0.01
-      | "sized" -> Latency.size_proportional ~per_bit:(1. /. float_of_int inst.Problem.b) ~floor:0.1
-      | other -> failwith ("unknown latency policy: " ^ other)
-    in
-    let crash_plan =
-      let fault = inst.Problem.fault in
-      match String.split_on_char ':' crash with
-      | [ "none" ] -> Crash_plan.none
-      | [ "silent" ] -> Crash_plan.mid_broadcast fault ~after_sends:0
-      | [ "midcast"; j ] -> Crash_plan.mid_broadcast fault ~after_sends:(int_of_string j)
-      | [ "staggered" ] -> Crash_plan.staggered fault ~first:0.5 ~gap:2.0
-      | [ "afterq"; j ] -> Crash_plan.after_queries fault (int_of_string j)
-      | _ -> failwith ("unknown crash plan: " ^ crash)
-    in
+    let lat = Cli_args.latency_fn ~seed ~fault:inst.Problem.fault ~b:inst.Problem.b latency in
+    let crash_plan = Cli_args.crash_plan ~fault:inst.Problem.fault crash in
     let opts = Exec.make_opts ~latency:lat ~crash:crash_plan ?trace () in
     match explore with
     | Some budget ->
       let run_protocol ~arbiter =
-        let opts = { opts with Exec.arbiter = Some arbiter; trace = None } in
+        let opts = Exec.(opts |> with_arbiter arbiter |> without_trace) in
         let (module P : Exec.PROTOCOL) =
           if protocol = "auto" then Select.for_instance inst
           else
@@ -124,10 +151,9 @@ let run protocol k n t model seed msg_bits latency crash attack segments trace_f
       | "auto" ->
         let (module P : Exec.PROTOCOL) = Select.for_instance inst in
         P.run ~opts inst
-      | name -> (
-        match Registry.find name with
-        | Some e -> e.Registry.run ~opts ~attack ?segments inst
-        | None -> failwith ("unknown protocol: " ^ name))
+      | name ->
+        let e = Cli_args.resolve_protocol name in
+        e.Registry.run ~opts ~attack ?segments inst
     in
     (match trace with
     | Some tr ->
@@ -153,7 +179,8 @@ let cmd =
       ret
         (const run $ protocol_arg $ peers_arg $ bits_arg $ faults_arg $ model_arg $ seed_arg
        $ msg_bits_arg $ latency_arg $ crash_arg $ attack_arg $ segments_arg $ trace_arg
-       $ matrix_arg $ trace_out_arg $ explore_arg))
+       $ matrix_arg $ trace_out_arg $ explore_arg $ transport_arg $ source_arg
+       $ net_timeout_arg))
   in
   Cmd.v
     (Cmd.info "dr_download" ~doc:"Run a distributed Download protocol in the simulator")

@@ -1,0 +1,49 @@
+(* dr_source_server: the standalone external data source of the DR model.
+
+   Serves Query(i) over TCP with per-peer query accounting — the "trusted
+   external data source" the paper's peers download from, as an actual
+   service. Peers (dr_download --transport net) connect, identify themselves
+   with a Hello frame, and query bits; the server meters every query.
+
+   Example:
+     dr_source_server -n 4096 -k 8 --seed 1 --port 7440
+     dr_download -p crash-general -k 8 -n 4096 -t 2 --seed 1 \
+       --transport net --source 127.0.0.1:7440 *)
+
+open Cmdliner
+module Bitarray = Dr_source.Bitarray
+module Prng = Dr_engine.Prng
+
+let bits_arg =
+  Arg.(value & opt int 1024 & info [ "n"; "bits" ] ~docv:"N" ~doc:"Input size in bits.")
+
+let peers_arg =
+  Arg.(value & opt int 8 & info [ "k"; "peers" ] ~docv:"K" ~doc:"Number of peers to meter.")
+
+let seed_arg = Dr_cli.Cli_args.seed_arg
+
+let port_arg =
+  Arg.(value & opt int 0
+       & info [ "port" ] ~docv:"PORT" ~doc:"TCP port to listen on (0 = ephemeral).")
+
+let run n k seed port =
+  (* The same input-array derivation as Problem.random_instance, so a server
+     started with (n, seed) serves exactly the instance the client built. *)
+  let x = Bitarray.random (Prng.create seed) n in
+  let server = Dr_net.Source_server.create ~port ~k x in
+  Printf.printf "dr_source_server: serving n=%d bits to k=%d peers on port %d (seed %Ld)\n%!" n k
+    (Dr_net.Source_server.port server)
+    seed;
+  Dr_net.Source_server.serve server;
+  let per_peer = Dr_net.Source_server.stats server in
+  Printf.printf "queries per peer: [%s] total=%d\n%!"
+    (String.concat "; " (Array.to_list (Array.map string_of_int per_peer)))
+    (Dr_net.Source_server.total_queries server)
+
+let cmd =
+  Cmd.v
+    (Cmd.info "dr_source_server"
+       ~doc:"Serve Query(i) over TCP with per-peer accounting (the DR model's external source)")
+    Term.(const run $ bits_arg $ peers_arg $ seed_arg $ port_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -7,9 +7,8 @@
 
 open Cmdliner
 open Dr_core
-module Latency = Dr_adversary.Latency
+module Cli_args = Dr_cli.Cli_args
 module Crash_plan = Dr_adversary.Crash_plan
-module Prng = Dr_engine.Prng
 
 type axis = Vary_n | Vary_k | Vary_beta | Vary_b
 
@@ -25,8 +24,7 @@ let values_arg =
     & opt (list ~sep:',' string) [ "0"; "0.125"; "0.25"; "0.5" ]
     & info [ "values" ] ~doc:"Comma-separated values of the swept parameter.")
 
-let protocol_arg =
-  Arg.(value & opt string "crash-general" & info [ "p"; "protocol" ] ~doc:"Protocol name.")
+let protocol_arg = Cli_args.protocol_arg ~default:"crash-general" ()
 
 let peers_arg = Arg.(value & opt int 32 & info [ "k"; "peers" ] ~doc:"Peers (fixed unless swept).")
 let bits_arg = Arg.(value & opt int 16384 & info [ "n"; "bits" ] ~doc:"Input bits (fixed unless swept).")
@@ -35,18 +33,11 @@ let t_arg = Arg.(value & opt (some int) None & info [ "t"; "faults" ] ~doc:"Faul
 let msg_arg = Arg.(value & opt (some int) None & info [ "B"; "msg-bits" ] ~doc:"Message bound (fixed unless swept).")
 let seeds_arg = Arg.(value & opt int 3 & info [ "seeds" ] ~doc:"Runs per sweep point.")
 
-let crash_arg =
-  Arg.(value & opt string "silent" & info [ "crash" ] ~doc:"Crash plan: none, silent, midcast:J, staggered.")
-
-let latency_arg =
-  Arg.(value & opt string "jitter" & info [ "latency" ] ~doc:"Latency policy: unit, jitter.")
+let crash_arg = Cli_args.crash_arg ~default:"silent"
+let latency_arg = Cli_args.latency_arg ~default:"jitter"
 
 let run axis values protocol k n beta t b seeds crash latency =
-  let entry =
-    match Registry.find protocol with
-    | Some e -> e
-    | None -> failwith ("unknown protocol: " ^ protocol)
-  in
+  let entry = Cli_args.resolve_protocol protocol in
   let (module P : Exec.PROTOCOL) = entry.Registry.proto in
   print_endline "protocol,k,n,t,beta,B,seed,ok,q_max,q_mean,q_total,time,msgs,bits,max_msg";
   List.iter
@@ -68,23 +59,10 @@ let run axis values protocol k n beta t b seeds crash latency =
         let seed = Int64.of_int ((s * 7919) + 13) in
         let model = entry.Registry.model in
         let inst = Problem.random_instance ~seed ?b ~model ~k ~n ~t () in
-        let lat =
-          match latency with
-          | "unit" -> Latency.unit_delay
-          | "jitter" -> Latency.jittered (Prng.create seed)
-          | other -> failwith ("unknown latency: " ^ other)
-        in
+        let lat = Cli_args.latency_fn ~seed ~fault:inst.Problem.fault ~b:inst.Problem.b latency in
         let crash_plan =
           if model = Problem.Byzantine then Crash_plan.none
-          else begin
-            match String.split_on_char ':' crash with
-            | [ "none" ] -> Crash_plan.none
-            | [ "silent" ] -> Crash_plan.mid_broadcast inst.Problem.fault ~after_sends:0
-            | [ "midcast"; j ] ->
-              Crash_plan.mid_broadcast inst.Problem.fault ~after_sends:(int_of_string j)
-            | [ "staggered" ] -> Crash_plan.staggered inst.Problem.fault ~first:0.5 ~gap:2.0
-            | _ -> failwith ("unknown crash plan: " ^ crash)
-          end
+          else Cli_args.crash_plan ~fault:inst.Problem.fault crash
         in
         let opts = Exec.make_opts ~latency:lat ~crash:crash_plan () in
         let r = P.run ~opts inst in

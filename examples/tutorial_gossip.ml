@@ -1,5 +1,7 @@
 (* The protocol developed in TUTORIAL.md, verbatim: a fault-free pull-based
-   gossip Download. Exists so the tutorial's code is compiled, run and
+   gossip Download, written once against Transport.S and run on both
+   runtimes — the deterministic simulator and k forked OS processes over
+   loopback sockets. Exists so the tutorial's code is compiled, run and
    schedule-explored on every `dune runtest`.
 
    Run with:  dune exec examples/tutorial_gossip.exe *)
@@ -20,43 +22,57 @@ module Msg = struct
     | Have { seg; _ } -> Printf.sprintf "have(%d)" seg
 end
 
-module S = Dr_engine.Sim.Make (Msg)
+module Process (T : Transport.S with type msg = Msg.t) = struct
+  let run inst i =
+    let n = Problem.n inst in
+    let spec = Segment.make ~n ~s:(min inst.Problem.k n) in
+    let y = Bitarray.create n in
+    let have = Array.make spec.Segment.s false in
+    let pos, len = Segment.bounds spec i in
+    for r = 0 to len - 1 do
+      Bitarray.set y (pos + r) (T.query (pos + r))
+    done;
+    have.(i) <- true;
+    T.broadcast (Want { seg = (i + 1) mod spec.Segment.s });
+    let missing = ref (spec.Segment.s - 1) in
+    while !missing > 0 do
+      match T.receive () with
+      | src, Want { seg } ->
+        if have.(seg) then T.send src (Have { seg; bits = Segment.extract spec y seg })
+      | _, Have { seg; bits } ->
+        if not have.(seg) then begin
+          have.(seg) <- true;
+          decr missing;
+          Bitarray.blit ~src:bits ~dst:y ~pos:(Segment.start spec seg);
+          T.broadcast (Want { seg = (seg + 1) mod spec.Segment.s })
+        end
+    done;
+    (* Termination flood (the Claim 2 move): a peer that stops serving pull
+       requests would starve any late requester, so push everything once
+       before exiting. *)
+    for seg = 0 to spec.Segment.s - 1 do
+      T.broadcast (Have { seg; bits = Segment.extract spec y seg })
+    done;
+    y
+end
 
-let process ~spec ~n i =
-  let y = Bitarray.create n in
-  let have = Array.make spec.Segment.s false in
-  let pos, len = Segment.bounds spec i in
-  for r = 0 to len - 1 do
-    Bitarray.set y (pos + r) (S.query (pos + r))
-  done;
-  have.(i) <- true;
-  S.broadcast (Want { seg = (i + 1) mod spec.Segment.s });
-  let missing = ref (spec.Segment.s - 1) in
-  while !missing > 0 do
-    match S.receive () with
-    | src, Want { seg } ->
-      if have.(seg) then S.send src (Have { seg; bits = Segment.extract spec y seg })
-    | _, Have { seg; bits } ->
-      if not have.(seg) then begin
-        have.(seg) <- true;
-        decr missing;
-        Bitarray.blit ~src:bits ~dst:y ~pos:(Segment.start spec seg);
-        S.broadcast (Want { seg = (seg + 1) mod spec.Segment.s })
-      end
-  done;
-  (* Termination flood (the Claim 2 move): a peer that stops serving pull
-     requests would starve any late requester, so push everything once
-     before exiting. *)
-  for seg = 0 to spec.Segment.s - 1 do
-    S.broadcast (Have { seg; bits = Segment.extract spec y seg })
-  done;
-  y
+let core () : (module Transport.CORE) =
+  (module struct
+    let name = "lazy-gossip"
+
+    let supports inst =
+      if Problem.t inst = 0 then Ok () else Error "lazy gossip tolerates no faults"
+
+    module Msg = Msg
+    module Process = Process
+  end)
+
+module ST = Sim_transport.Make (Msg)
+module SP = Process (ST)
 
 let run ?(opts = Exec.default) inst =
   let cfg = Exec.build_config inst opts in
-  let n = Problem.n inst in
-  let spec = Segment.make ~n ~s:(min inst.Problem.k n) in
-  Exec.finish ~protocol:"lazy-gossip" inst (S.run cfg (process ~spec ~n))
+  Exec.finish ~protocol:"lazy-gossip" inst (ST.run_sim cfg (SP.run inst))
 
 let () =
   (* A jittered asynchronous run with serialized links. *)
@@ -70,7 +86,7 @@ let () =
   Format.printf "%a@." Problem.pp_report report;
   assert report.Problem.ok;
 
-  (* And every delivery schedule of a tiny instance. *)
+  (* Every delivery schedule of a tiny instance. *)
   let tiny = Problem.random_instance ~seed:2L ~k:3 ~n:3 ~t:0 () in
   let r =
     Dr_engine.Explore.dfs ~budget:3_000 ~run:(fun ~arbiter ->
@@ -79,4 +95,12 @@ let () =
   Printf.printf "schedule exploration: %d schedules, %d failures%s\n"
     r.Dr_engine.Explore.schedules_run r.Dr_engine.Explore.failures
     (if r.Dr_engine.Explore.exhausted then " (exhausted)" else " (prefix)");
-  assert (r.Dr_engine.Explore.failures = 0)
+  assert (r.Dr_engine.Explore.failures = 0);
+
+  (* And the same core as 8 real OS processes over loopback, querying a TCP
+     source server. Only schedule-invariant fields are comparable with the
+     simulator run: the verdict and the query counts. *)
+  let net = Dr_net.Runner.run ~timeout:30. (core ()) inst in
+  Format.printf "%a@." Problem.pp_report net;
+  assert net.Problem.ok;
+  assert (net.Problem.q_total = report.Problem.q_total)

@@ -1,0 +1,62 @@
+open Cmdliner
+module Registry = Dr_core.Registry
+module Latency = Dr_adversary.Latency
+module Crash_plan = Dr_adversary.Crash_plan
+module Fault = Dr_adversary.Fault
+module Prng = Dr_engine.Prng
+
+let protocol_doc =
+  Printf.sprintf "Protocol: one of %s." (String.concat ", " Registry.names)
+
+let protocol_arg ?(extra = "") ~default () =
+  let doc = if extra = "" then protocol_doc else protocol_doc ^ " " ^ extra in
+  Arg.(value & opt string default & info [ "p"; "protocol" ] ~docv:"NAME" ~doc)
+
+let protocol_opt_arg ?(extra = "") () =
+  let doc = if extra = "" then protocol_doc else protocol_doc ^ " " ^ extra in
+  Arg.(value & opt (some string) None & info [ "p"; "protocol" ] ~docv:"NAME" ~doc)
+
+let attack_doc =
+  "Byzantine attack name from the protocol's registry catalog \
+   (default, silent, flip, equivocate, collude, nearmiss, lie, flood); \
+   protocols without an attack surface ignore it."
+
+let attack_arg =
+  Arg.(value & opt string "default" & info [ "attack" ] ~docv:"ATTACK" ~doc:attack_doc)
+
+let seed_arg = Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let resolve_protocol name =
+  match Registry.find name with
+  | Some e -> e
+  | None ->
+    failwith
+      (Printf.sprintf "unknown protocol %S (known: %s)" name (String.concat ", " Registry.names))
+
+let latency_doc = "Latency policy: unit, jitter, rush (Byzantine messages fast), or sized."
+
+let latency_arg ~default =
+  Arg.(value & opt string default & info [ "latency" ] ~docv:"POLICY" ~doc:latency_doc)
+
+let latency_fn ~seed ~fault ~b = function
+  | "unit" -> Latency.unit_delay
+  | "jitter" -> Latency.jittered (Prng.create seed)
+  | "rush" -> Latency.rushing ~fast:(Fault.is_faulty fault) ~eps:0.01
+  | "sized" -> Latency.size_proportional ~per_bit:(1. /. float_of_int b) ~floor:0.1
+  | other -> failwith ("unknown latency policy: " ^ other)
+
+let crash_doc =
+  "Crash plan for crash-model faulty peers: none, silent, midcast:J, staggered, or afterq:J."
+
+let crash_arg ~default =
+  Arg.(value & opt string default & info [ "crash" ] ~docv:"PLAN" ~doc:crash_doc)
+
+let crash_plan ~fault = function
+  | "none" -> Crash_plan.none
+  | "silent" -> Crash_plan.mid_broadcast fault ~after_sends:0
+  | "staggered" -> Crash_plan.staggered fault ~first:0.5 ~gap:2.0
+  | spec -> (
+    match String.split_on_char ':' spec with
+    | [ "midcast"; j ] -> Crash_plan.mid_broadcast fault ~after_sends:(int_of_string j)
+    | [ "afterq"; j ] -> Crash_plan.after_queries fault (int_of_string j)
+    | _ -> failwith ("unknown crash plan: " ^ spec))

@@ -11,27 +11,24 @@ module Msg = struct
   let tag { seg; part; _ } = Printf.sprintf "share(seg=%d,part=%d)" seg part
 end
 
-module S = Dr_engine.Sim.Make (Msg)
-
 let name = "balanced"
 
 let supports inst =
   if Problem.t inst = 0 then Ok () else Error "balanced tolerates no faults (beta = 0)"
 
-let run ?(opts = Exec.default) inst =
-  let cfg = Exec.build_config inst opts in
-  let n = Problem.n inst in
-  let k = inst.Problem.k in
-  let b = inst.Problem.b - 64 in
-  let b = if b < 1 then 1 else b in
-  let spec = Segment.make ~n ~s:(min k n) in
-  let process i =
+module Process (T : Transport.S with type msg = Msg.t) = struct
+  let run inst i =
+    let n = Problem.n inst in
+    let k = inst.Problem.k in
+    let b = inst.Problem.b - 64 in
+    let b = if b < 1 then 1 else b in
+    let spec = Segment.make ~n ~s:(min k n) in
     let y = Bitarray.create n in
     (* Query own segment (peers beyond the segment count own nothing). *)
     let mine =
       if i < spec.Segment.s then begin
         let pos, len = Segment.bounds spec i in
-        let mine = Bitarray.init len (fun j -> S.query (pos + j)) in
+        let mine = Bitarray.init len (fun j -> T.query (pos + j)) in
         Bitarray.blit ~src:mine ~dst:y ~pos;
         Some mine
       end
@@ -39,7 +36,7 @@ let run ?(opts = Exec.default) inst =
     in
     (match mine with
     | Some mine ->
-      List.iter (fun (part, bits) -> S.broadcast { seg = i; part; bits }) (Wire.split ~b mine)
+      List.iter (fun (part, bits) -> T.broadcast { seg = i; part; bits }) (Wire.split ~b mine)
     | None -> ());
     (* Collect every other segment. *)
     let assemblies =
@@ -47,7 +44,7 @@ let run ?(opts = Exec.default) inst =
     in
     let missing = ref (if i < spec.Segment.s then spec.Segment.s - 1 else spec.Segment.s) in
     while !missing > 0 do
-      let _src, { seg; part; bits } = S.receive () in
+      let _src, { seg; part; bits } = T.receive () in
       if seg >= 0 && seg < spec.Segment.s && seg <> i then begin
         let a = assemblies.(seg) in
         if not (Wire.Assembly.complete a) then begin
@@ -60,5 +57,20 @@ let run ?(opts = Exec.default) inst =
       end
     done;
     y
-  in
-  Exec.finish ~protocol:name inst (S.run cfg process)
+end
+
+let core () : (module Transport.CORE) =
+  (module struct
+    let name = name
+    let supports = supports
+
+    module Msg = Msg
+    module Process = Process
+  end)
+
+module ST = Sim_transport.Make (Msg)
+module SP = Process (ST)
+
+let run ?(opts = Exec.default) inst =
+  let cfg = Exec.build_config inst opts in
+  Exec.finish ~protocol:name inst (ST.run_sim cfg (SP.run inst))

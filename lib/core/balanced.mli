@@ -7,3 +7,6 @@
     as the failure demo motivating everything else. *)
 
 include Exec.PROTOCOL
+
+val core : unit -> (module Transport.CORE)
+(** The transport-generic protocol core (see {!Transport.CORE}). *)

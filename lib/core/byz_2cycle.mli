@@ -51,6 +51,10 @@ val run_with :
 (** Defaults: [attack = Near_miss]; [segments]/[rho] per the case analysis
     (overridable for the ρ-ablation bench). *)
 
+val core : ?attack:attack -> ?segments:int -> ?rho:int -> unit -> (module Transport.CORE)
+(** The transport-generic protocol core (see {!Transport.CORE}) with the
+    attack and plan overrides baked in. *)
+
 val plan : k:int -> n:int -> t:int -> int * int
 (** [(s, rho)] the case analysis would choose — exposed for tests and for
     the experiment harness to report which regime an instance falls in. *)

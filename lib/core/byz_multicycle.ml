@@ -12,8 +12,6 @@ module Msg = struct
   let tag { cycle; seg; _ } = Printf.sprintf "seg(c%d,%d)" cycle seg
 end
 
-module S = Dr_engine.Sim.Make (Msg)
-
 let name = "byz-multicycle"
 
 let supports inst =
@@ -34,135 +32,156 @@ let plan ~k ~n ~t =
   let rec log2 acc p = if p >= s1 then acc else log2 (acc + 1) (p * 2) in
   (s1, 1 + log2 0 1)
 
-let run_with ?(opts = Exec.default) ?(attack = Near_miss) ?segments ?rho inst =
-  let cfg = Exec.build_config inst opts in
-  let n = Problem.n inst in
-  let k = inst.Problem.k in
-  let t = Problem.t inst in
-  let h = max 1 (k - (2 * t)) in
-  let s1 =
-    match segments with
-    | Some s -> floor_pow2 (max 1 (min s n))
-    | None -> fst (plan ~k ~n ~t)
-  in
-  let specs =
-    (* specs.(r-1) is the segmentation of cycle r; s halves each cycle. *)
-    let rec build acc spec =
-      if spec.Segment.s = 1 then List.rev (spec :: acc)
-      else build (spec :: acc) (Segment.halve spec)
+module Process (T : Transport.S with type msg = Msg.t) = struct
+  let run_with ?(attack = Near_miss) ?segments ?rho inst i =
+    let n = Problem.n inst in
+    let k = inst.Problem.k in
+    let t = Problem.t inst in
+    let h = max 1 (k - (2 * t)) in
+    let s1 =
+      match segments with
+      | Some s -> floor_pow2 (max 1 (min s n))
+      | None -> fst (plan ~k ~n ~t)
     in
-    Array.of_list (build [] (Segment.make ~n ~s:s1))
-  in
-  let cycles = Array.length specs in
-  (* rho doubles as segments halve (rho_r = h/(2 s_r)); an explicit [rho]
-     overrides the cycle-1 value and keeps the same doubling. *)
-  let rho_of r =
-    let s_r = specs.(r - 1).Segment.s in
-    match rho with
-    | Some base -> max 1 (base * (s1 / s_r))
-    | None -> max 1 (h / (2 * s_r))
-  in
-  let query_segment spec j =
-    let pos, len = Segment.bounds spec j in
-    Bitarray.init len (fun r -> S.query (pos + r))
-  in
-  let honest i =
-    let prng = S.rng () in
-    (* Per-cycle report stores; reports for future cycles are buffered by
-       feeding them into their own store as they arrive. *)
-    let stores = Array.init cycles (fun _ -> Frequent.create ()) in
-    let heard = Array.make cycles 0 in
-    let ingest src { cycle; seg; bits } =
-      if cycle >= 1 && cycle <= cycles then begin
-        let spec = specs.(cycle - 1) in
-        if seg >= 0 && seg < spec.Segment.s
-           && Int.equal (Bitarray.length bits) (Segment.len spec seg)
-        then
-          if Frequent.add stores.(cycle - 1) ~seg ~peer:src bits then
-            heard.(cycle - 1) <- heard.(cycle - 1) + 1
-      end
+    let specs =
+      (* specs.(r-1) is the segmentation of cycle r; s halves each cycle. *)
+      let rec build acc spec =
+        if spec.Segment.s = 1 then List.rev (spec :: acc)
+        else build (spec :: acc) (Segment.halve spec)
+      in
+      Array.of_list (build [] (Segment.make ~n ~s:s1))
     in
-    let report cycle seg bits =
-      ingest i { cycle; seg; bits };
-      S.broadcast { cycle; seg; bits }
+    let cycles = Array.length specs in
+    (* rho doubles as segments halve (rho_r = h/(2 s_r)); an explicit [rho]
+       overrides the cycle-1 value and keeps the same doubling. *)
+    let rho_of r =
+      let s_r = specs.(r - 1).Segment.s in
+      match rho with
+      | Some base -> max 1 (base * (s1 / s_r))
+      | None -> max 1 (h / (2 * s_r))
     in
-    (* ---- Cycle 1: sample and query directly. ---- *)
-    let pick1 = Prng.int prng specs.(0).Segment.s in
-    let mine1 = query_segment specs.(0) pick1 in
-    report 1 pick1 mine1;
-    (* ---- Cycles 2..R: double, resolve children, re-broadcast. ---- *)
-    let last = ref (Bitarray.create 0) in
-    for r = 2 to cycles do
-      let spec = specs.(r - 1) in
-      let fine = specs.(r - 2) in
-      let rho = rho_of (r - 1) in
-      let pick = if spec.Segment.s = 1 then 0 else Prng.int prng spec.Segment.s in
-      let children = Segment.children ~coarse:spec ~fine pick in
-      let child_ready c = Frequent.frequent stores.(r - 2) ~seg:c ~rho <> [] in
-      while
-        not (heard.(r - 2) >= k - t && List.for_all child_ready children)
-      do
-        let src, m = S.receive () in
-        ingest src m
+    let query_segment spec j =
+      let pos, len = Segment.bounds spec j in
+      Bitarray.init len (fun r -> T.query (pos + r))
+    in
+    let honest i =
+      let prng = T.rng () in
+      (* Per-cycle report stores; reports for future cycles are buffered by
+         feeding them into their own store as they arrive. *)
+      let stores = Array.init cycles (fun _ -> Frequent.create ()) in
+      let heard = Array.make cycles 0 in
+      let ingest src { cycle; seg; bits } =
+        if cycle >= 1 && cycle <= cycles then begin
+          let spec = specs.(cycle - 1) in
+          if seg >= 0 && seg < spec.Segment.s
+             && Int.equal (Bitarray.length bits) (Segment.len spec seg)
+          then
+            if Frequent.add stores.(cycle - 1) ~seg ~peer:src bits then
+              heard.(cycle - 1) <- heard.(cycle - 1) + 1
+        end
+      in
+      let report cycle seg bits =
+        ingest i { cycle; seg; bits };
+        T.broadcast { cycle; seg; bits }
+      in
+      (* ---- Cycle 1: sample and query directly. ---- *)
+      let pick1 = Prng.int prng specs.(0).Segment.s in
+      let mine1 = query_segment specs.(0) pick1 in
+      report 1 pick1 mine1;
+      (* ---- Cycles 2..R: double, resolve children, re-broadcast. ---- *)
+      let last = ref (Bitarray.create 0) in
+      for r = 2 to cycles do
+        let spec = specs.(r - 1) in
+        let fine = specs.(r - 2) in
+        let rho = rho_of (r - 1) in
+        let pick = if spec.Segment.s = 1 then 0 else Prng.int prng spec.Segment.s in
+        let children = Segment.children ~coarse:spec ~fine pick in
+        let child_ready c = Frequent.frequent stores.(r - 2) ~seg:c ~rho <> [] in
+        while
+          not (heard.(r - 2) >= k - t && List.for_all child_ready children)
+        do
+          let src, m = T.receive () in
+          ingest src m
+        done;
+        let resolve c =
+          let tree = Decision_tree.build (Frequent.frequent stores.(r - 2) ~seg:c ~rho) in
+          fst (Decision_tree.determine ~query:T.query ~offset:(Segment.start fine c) tree)
+        in
+        let value =
+          List.fold_left (fun acc c -> Bitarray.append acc (resolve c)) (Bitarray.create 0) children
+        in
+        report r pick value;
+        if r = cycles then last := value
       done;
-      let resolve c =
-        let tree = Decision_tree.build (Frequent.frequent stores.(r - 2) ~seg:c ~rho) in
-        fst (Decision_tree.determine ~query:S.query ~offset:(Segment.start fine c) tree)
-      in
-      let value =
-        List.fold_left (fun acc c -> Bitarray.append acc (resolve c)) (Bitarray.create 0) children
-      in
-      report r pick value;
-      if r = cycles then last := value
-    done;
-    if cycles = 1 then mine1 else !last
-  in
-  let byz i =
-    let rank =
-      let rec go idx = function
-        | [] -> 0
-        | p :: _ when p = i -> idx
-        | _ :: tl -> go (idx + 1) tl
-      in
-      go 0 inst.Problem.fault.Fault.faulty_ids
+      if cycles = 1 then mine1 else !last
     in
-    let prng = S.rng () in
-    (match attack with
-    | Silent -> ()
-    | Near_miss ->
-      for r = 1 to cycles do
-        let spec = specs.(r - 1) in
-        let seg = i mod spec.Segment.s in
-        let bits = query_segment spec seg in
-        S.broadcast { cycle = r; seg; bits = Bitarray.flip bits (i mod Bitarray.length bits) }
-      done
-    | Consistent_lie ->
-      for r = 1 to cycles do
-        let spec = specs.(r - 1) in
-        let bits = query_segment spec 0 in
-        let forged = Bitarray.init (Bitarray.length bits) (fun j -> not (Bitarray.get bits j)) in
-        S.broadcast { cycle = r; seg = 0; bits = forged }
-      done
-    | Equivocate ->
-      for r = 1 to cycles do
-        let spec = specs.(r - 1) in
-        let seg = Prng.int prng spec.Segment.s in
-        let len = Segment.len spec seg in
-        for dst = 0 to k - 1 do
-          if dst <> i then S.send dst { cycle = r; seg; bits = Bitarray.random prng len }
+    let byz i =
+      let rank =
+        let rec go idx = function
+          | [] -> 0
+          | p :: _ when p = i -> idx
+          | _ :: tl -> go (idx + 1) tl
+        in
+        go 0 inst.Problem.fault.Fault.faulty_ids
+      in
+      let prng = T.rng () in
+      (match attack with
+      | Silent -> ()
+      | Near_miss ->
+        for r = 1 to cycles do
+          let spec = specs.(r - 1) in
+          let seg = i mod spec.Segment.s in
+          let bits = query_segment spec seg in
+          T.broadcast { cycle = r; seg; bits = Bitarray.flip bits (i mod Bitarray.length bits) }
         done
-      done
-    | Flood groups ->
-      let groups = max 1 groups in
-      for r = 1 to cycles do
-        let spec = specs.(r - 1) in
-        let bits = query_segment spec 0 in
-        let variant = rank mod groups in
-        S.broadcast { cycle = r; seg = 0; bits = Bitarray.flip bits (variant mod Bitarray.length bits) }
-      done);
-    S.die ()
-  in
-  let process i = if Fault.is_faulty inst.Problem.fault i then byz i else honest i in
-  Exec.finish ~protocol:name inst (S.run cfg process)
+      | Consistent_lie ->
+        for r = 1 to cycles do
+          let spec = specs.(r - 1) in
+          let bits = query_segment spec 0 in
+          let forged = Bitarray.init (Bitarray.length bits) (fun j -> not (Bitarray.get bits j)) in
+          T.broadcast { cycle = r; seg = 0; bits = forged }
+        done
+      | Equivocate ->
+        for r = 1 to cycles do
+          let spec = specs.(r - 1) in
+          let seg = Prng.int prng spec.Segment.s in
+          let len = Segment.len spec seg in
+          for dst = 0 to k - 1 do
+            if dst <> i then T.send dst { cycle = r; seg; bits = Bitarray.random prng len }
+          done
+        done
+      | Flood groups ->
+        let groups = max 1 groups in
+        for r = 1 to cycles do
+          let spec = specs.(r - 1) in
+          let bits = query_segment spec 0 in
+          let variant = rank mod groups in
+          T.broadcast { cycle = r; seg = 0; bits = Bitarray.flip bits (variant mod Bitarray.length bits) }
+        done);
+      T.die ()
+    in
+    if Fault.is_faulty inst.Problem.fault i then byz i else honest i
+end
+
+let core ?attack ?segments ?rho () : (module Transport.CORE) =
+  (module struct
+    let name = name
+    let supports = supports
+
+    module Msg = Msg
+
+    module Process (T : Transport.S with type msg = Msg.t) = struct
+      module P = Process (T)
+
+      let run inst i = P.run_with ?attack ?segments ?rho inst i
+    end
+  end)
+
+module ST = Sim_transport.Make (Msg)
+module SP = Process (ST)
+
+let run_with ?(opts = Exec.default) ?attack ?segments ?rho inst =
+  let cfg = Exec.build_config inst opts in
+  Exec.finish ~protocol:name inst (ST.run_sim cfg (SP.run_with ?attack ?segments ?rho inst))
 
 let run ?opts inst = run_with ?opts inst

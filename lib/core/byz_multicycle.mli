@@ -33,6 +33,10 @@ val run_with :
     the segment count halves). Defaults: [attack = Near_miss], s₁ and ρ
     from the same case analysis as the 2-cycle protocol. *)
 
+val core : ?attack:attack -> ?segments:int -> ?rho:int -> unit -> (module Transport.CORE)
+(** The transport-generic protocol core (see {!Transport.CORE}) with the
+    attack and plan overrides baked in. *)
+
 val plan : k:int -> n:int -> t:int -> int * int
 (** [(s₁, cycles)]: the initial segment count (a power of two) and the
     total number of cycles 1 + log₂ s₁. *)

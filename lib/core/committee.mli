@@ -39,6 +39,11 @@ val run_with :
 (** Defaults: [attack = Equivocate], [committee_size = 2t+1] (clamped to k),
     [threshold = t+1]. *)
 
+val core :
+  ?attack:attack -> ?committee_size:int -> ?threshold:int -> unit -> (module Transport.CORE)
+(** The transport-generic protocol core (see {!Transport.CORE}) with the
+    attack and committee overrides baked in. *)
+
 val committee : k:int -> size:int -> int -> int list
 (** [committee ~k ~size j] is the member list of block [j]'s committee
     (round-robin, distinct peers). *)

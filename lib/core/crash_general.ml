@@ -49,8 +49,6 @@ module Msg = struct
     | Full { part; _ } -> Printf.sprintf "full(.%d)" part
 end
 
-module S = Dr_engine.Sim.Make (Msg)
-
 let name = "crash-general"
 
 let supports inst =
@@ -73,19 +71,18 @@ let reassign_rule ~k ~phase b =
   let h = Prng.create (Int64.add (Int64.mul (Int64.of_int b) 0x100000001b3L) (Int64.of_int phase)) in
   Prng.int h k
 
-let run_with ?(opts = Exec.default) ?(fast_path = true) ?monitor inst =
-  let cfg = Exec.build_config inst opts in
-  let n = Problem.n inst in
-  let k = inst.Problem.k in
-  let t = Problem.t inst in
-  let quorum_others = max 0 (k - t - 1) in
-  let threshold = (n + k - 1) / k in
-  let max_phase = phases_upper_bound ~k ~t in
-  let bpi = ceil_log2 (n + 2) in
-  let cap = max 1 ((inst.Problem.b - Msg.header) / (bpi + 1)) in
-  let full_payload = max 1 (inst.Problem.b - Msg.header) in
-  let spec = Segment.make ~n ~s:(min k n) in
-  let process me =
+module Process (T : Transport.S with type msg = Msg.t) = struct
+  let run_with ?(fast_path = true) ?monitor inst me =
+    let n = Problem.n inst in
+    let k = inst.Problem.k in
+    let t = Problem.t inst in
+    let quorum_others = max 0 (k - t - 1) in
+    let threshold = (n + k - 1) / k in
+    let max_phase = phases_upper_bound ~k ~t in
+    let bpi = ceil_log2 (n + 2) in
+    let cap = max 1 ((inst.Problem.b - Msg.header) / (bpi + 1)) in
+    let full_payload = max 1 (inst.Problem.b - Msg.header) in
+    let spec = Segment.make ~n ~s:(min k n) in
     let y = Bitarray.create n in
     let know = Array.make n false in
     let unknown = ref n in
@@ -142,7 +139,7 @@ let run_with ?(opts = Exec.default) ?(fast_path = true) ?monitor inst =
         let len = max len 0 in
         let idx = Array.sub idx_all lo len in
         let vals = Bitarray.init len (fun r -> vals_of idx.(r)) in
-        S.send dst (mk ~idx ~vals ~part ~parts)
+        T.send dst (mk ~idx ~vals ~part ~parts)
       done
     in
     let answer_req1 src = function
@@ -160,7 +157,7 @@ let run_with ?(opts = Exec.default) ?(fast_path = true) ?monitor inst =
                      me src phase !my_phase !my_stage b assign.(b));
               Bitarray.get y b)
         in
-        S.send src (Reply1 { phase; idx; vals; part; parts })
+        T.send src (Reply1 { phase; idx; vals; part; parts })
       | Reply1 _ | Request2 _ | Reply2 _ | Full _ -> assert false
     in
     let answer_req2 src = function
@@ -170,7 +167,7 @@ let run_with ?(opts = Exec.default) ?(fast_path = true) ?monitor inst =
         Array.iter
           (fun u ->
             if not (in_heard phase u) then
-              S.send src
+              T.send src
                 (Reply2
                    { phase; about = u; known = false; idx = [||]; vals = Bitarray.create 0;
                      part = 0; parts = 1 }))
@@ -232,7 +229,7 @@ let run_with ?(opts = Exec.default) ?(fast_path = true) ?monitor inst =
     in
     let wait_until cond =
       while not (cond ()) do
-        handle (S.receive ())
+        handle (T.receive ())
       done
     in
     let drain_pending () =
@@ -259,9 +256,9 @@ let run_with ?(opts = Exec.default) ?(fast_path = true) ?monitor inst =
     in
     let finish () =
       for b = 0 to n - 1 do
-        if not know.(b) then learn b (S.query b)
+        if not know.(b) then learn b (T.query b)
       done;
-      List.iter (fun (part, bits) -> S.broadcast (Full { part; bits })) (Wire.split ~b:full_payload y);
+      List.iter (fun (part, bits) -> T.broadcast (Full { part; bits })) (Wire.split ~b:full_payload y);
       y
     in
     let rec phase_loop () =
@@ -274,7 +271,7 @@ let run_with ?(opts = Exec.default) ?(fast_path = true) ?monitor inst =
         (* ---- Stage 1: query my assigned unknown bits; pull the rest. ---- *)
         my_stage := 1;
         for b = 0 to n - 1 do
-          if (not know.(b)) && assign.(b) = me then learn b (S.query b)
+          if (not know.(b)) && assign.(b) = me then learn b (T.query b)
         done;
         (* Bucket my unknown bits by assignee in one pass over the array. *)
         let wants = Array.make k [] in
@@ -290,7 +287,7 @@ let run_with ?(opts = Exec.default) ?(fast_path = true) ?monitor inst =
             for part = 0 to parts - 1 do
               let lo = part * cap in
               let len = max 0 (min cap (total - lo)) in
-              S.send q (Request1 { phase = p; idx = Array.sub idx lo len; part; parts })
+              T.send q (Request1 { phase = p; idx = Array.sub idx lo len; part; parts })
             done
           end
         done;
@@ -318,7 +315,7 @@ let run_with ?(opts = Exec.default) ?(fast_path = true) ?monitor inst =
             phase_loop ()
           end
           else begin
-            S.broadcast (Request2 { phase = p; missing });
+            T.broadcast (Request2 { phase = p; missing });
             my_stage := 3;
             drain_pending ();
             (* ---- Stage 3: collect k-t answers (or be rescued). ----
@@ -362,8 +359,28 @@ let run_with ?(opts = Exec.default) ?(fast_path = true) ?monitor inst =
       end
     in
     phase_loop ()
-  in
+end
+
+let core ?(fast_path = true) () : (module Transport.CORE) =
+  (module struct
+    let name = if fast_path then name else name ^ "-nofp"
+    let supports = supports
+
+    module Msg = Msg
+
+    module Process (T : Transport.S with type msg = Msg.t) = struct
+      module P = Process (T)
+
+      let run inst me = P.run_with ~fast_path inst me
+    end
+  end)
+
+module ST = Sim_transport.Make (Msg)
+module SP = Process (ST)
+
+let run_with ?(opts = Exec.default) ?(fast_path = true) ?monitor inst =
+  let cfg = Exec.build_config inst opts in
   let protocol = if fast_path then name else name ^ "-nofp" in
-  Exec.finish ~protocol inst (S.run cfg process)
+  Exec.finish ~protocol inst (ST.run_sim cfg (SP.run_with ~fast_path ?monitor inst))
 
 let run ?opts inst = run_with ?opts ~fast_path:true inst

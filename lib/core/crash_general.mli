@@ -40,6 +40,11 @@ val run_with :
     test suite uses it to check Claims 1 and 4 of the paper's analysis on
     live executions. *)
 
+val core : ?fast_path:bool -> unit -> (module Transport.CORE)
+(** The transport-generic protocol core (see {!Transport.CORE}); the
+    packaged name is ["crash-general"], or ["crash-general-nofp"] with
+    [~fast_path:false]. *)
+
 val phases_upper_bound : k:int -> t:int -> int
 (** The r* cap on the number of phases: ⌈log k / log (1/β)⌉ + 2, the point
     by which at most ⌈n/k⌉ bits can remain unknown. *)

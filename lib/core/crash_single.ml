@@ -31,8 +31,6 @@ module Msg = struct
     | Full { part; _ } -> Printf.sprintf "full(.%d)" part
 end
 
-module S = Dr_engine.Sim.Make (Msg)
-
 let name = "crash-single"
 
 let supports inst =
@@ -54,16 +52,15 @@ let slice ~k ~u ~seg_start ~seg_len p =
     (fun b -> reassigned_to ~k ~u ~seg_start b = p)
     (List.init seg_len (fun r -> seg_start + r))
 
-let run ?(opts = Exec.default) inst =
-  let cfg = Exec.build_config inst opts in
-  let n = Problem.n inst in
-  let k = inst.Problem.k in
-  let payload = max 1 (inst.Problem.b - Msg.header) in
-  let s = min k n in
-  let spec = Segment.make ~n ~s in
-  let seg_of_peer i = if i < s then Some (Segment.bounds spec i) else None in
-  let seg_len i = match seg_of_peer i with Some (_, len) -> len | None -> 0 in
-  let process i =
+module Process (T : Transport.S with type msg = Msg.t) = struct
+  let run inst i =
+    let n = Problem.n inst in
+    let k = inst.Problem.k in
+    let payload = max 1 (inst.Problem.b - Msg.header) in
+    let s = min k n in
+    let spec = Segment.make ~n ~s in
+    let seg_of_peer i = if i < s then Some (Segment.bounds spec i) else None in
+    let seg_len i = match seg_of_peer i with Some (_, len) -> len | None -> 0 in
     let y = Bitarray.create n in
     let know = Array.make n false in
     let unknown = ref n in
@@ -114,11 +111,11 @@ let run ?(opts = Exec.default) inst =
           | Some (pos, len) ->
             let bits = Bitarray.sub y ~pos ~len in
             List.iter
-              (fun (part, bits) -> S.send asker (Bits_of { about; part; bits }))
+              (fun (part, bits) -> T.send asker (Bits_of { about; part; bits }))
               (Wire.split ~b:payload bits)
-          | None -> S.send asker (Bits_of { about; part = 0; bits = Bitarray.create 0 })
+          | None -> T.send asker (Bits_of { about; part = 0; bits = Bitarray.create 0 })
         end
-        else S.send asker (Me_neither { about })
+        else T.send asker (Me_neither { about })
     in
     let handle (src, m) =
       match m with
@@ -180,20 +177,20 @@ let run ?(opts = Exec.default) inst =
     in
     let wait_until cond =
       while not (cond ()) do
-        handle (S.receive ())
+        handle (T.receive ())
       done
     in
     (* ---- Phase 1, stage 1: query own share, broadcast it. ---- *)
     (match seg_of_peer i with
     | Some (pos, len) ->
       for r = 0 to len - 1 do
-        learn (pos + r) (S.query (pos + r))
+        learn (pos + r) (T.query (pos + r))
       done;
       let mine = Bitarray.sub y ~pos ~len in
       List.iter
-        (fun (part, bits) -> S.broadcast (Share { owner = i; part; bits }))
+        (fun (part, bits) -> T.broadcast (Share { owner = i; part; bits }))
         (Wire.split ~b:payload mine)
-    | None -> S.broadcast (Share { owner = i; part = 0; bits = Bitarray.create 0 }));
+    | None -> T.broadcast (Share { owner = i; part = 0; bits = Bitarray.create 0 }));
     (* ---- Stage 2: hear k-1 peers (incl. self). ---- *)
     wait_until (fun () -> !heard_others >= k - 2 || !unknown = 0);
     stage := 2;
@@ -204,7 +201,7 @@ let run ?(opts = Exec.default) inst =
       (match Array.to_list (Array.init k Fun.id) |> List.filter (fun p -> not share_done.(p)) with
       | [ u ] ->
         missing := u;
-        S.broadcast (Ask { about = u });
+        T.broadcast (Ask { about = u });
         (* ---- Stage 3: collect k-1 responses (or be rescued). ---- *)
         let quorum = k - 2 in
         wait_until (fun () -> Hashtbl.length responders >= quorum || !resolved || !unknown = 0);
@@ -217,7 +214,7 @@ let run ?(opts = Exec.default) inst =
     if !completion then begin
       assert (!unknown = 0);
       List.iter
-        (fun (part, bits) -> S.broadcast (Full { part; bits }))
+        (fun (part, bits) -> T.broadcast (Full { part; bits }))
         (Wire.split ~b:payload y)
     end
     else begin
@@ -230,20 +227,35 @@ let run ?(opts = Exec.default) inst =
               let b = indices.(r) in
               if know.(b) then Bitarray.get y b
               else begin
-                let v = S.query b in
+                let v = T.query b in
                 learn b v;
                 v
               end)
         in
         List.iter
-          (fun (part, bits) -> S.broadcast (Reshare { about = u; part; bits }))
+          (fun (part, bits) -> T.broadcast (Reshare { about = u; part; bits }))
           (Wire.split ~b:payload vals)
       | None ->
         (* The missing peer owned no segment: nothing to re-query. *)
-        S.broadcast (Reshare { about = u; part = 0; bits = Bitarray.create 0 }))
+        T.broadcast (Reshare { about = u; part = 0; bits = Bitarray.create 0 }))
     end;
     (* ---- Phase 2, stage 2: wait for the array to complete. ---- *)
     wait_until (fun () -> !unknown = 0);
     y
-  in
-  Exec.finish ~protocol:name inst (S.run cfg process)
+end
+
+let core () : (module Transport.CORE) =
+  (module struct
+    let name = name
+    let supports = supports
+
+    module Msg = Msg
+    module Process = Process
+  end)
+
+module ST = Sim_transport.Make (Msg)
+module SP = Process (ST)
+
+let run ?(opts = Exec.default) inst =
+  let cfg = Exec.build_config inst opts in
+  Exec.finish ~protocol:name inst (ST.run_sim cfg (SP.run inst))

@@ -35,6 +35,7 @@ let with_link_rate link_rate opts = { opts with link_rate }
 let with_crash crash opts = { opts with crash }
 let with_trace trace opts = { opts with trace = Some trace }
 let with_arbiter arbiter opts = { opts with arbiter = Some arbiter }
+let without_trace opts = { opts with trace = None }
 
 let build_config inst opts =
   let source = Dr_source.Data_source.create ~k:inst.Problem.k inst.Problem.x in

@@ -4,7 +4,7 @@
     latency, staggered starts) and turns a raw simulator outcome into a
     {!Problem.report} by checking every nonfaulty output against [X]. *)
 
-type opts = {
+type opts = private {
   latency : Dr_adversary.Latency.fn;
   link_rate : float;
       (** link bandwidth in bits per time unit (see {!Dr_engine.Sim.config});
@@ -21,6 +21,9 @@ type opts = {
       (** schedule arbiter for systematic exploration (see
           {!Dr_engine.Explore}); overrides latency-based ordering *)
 }
+(** The record is [private]: read fields freely, but construct values only
+    through {!make_opts} and the [with_*] combinators, so adding a field
+    never breaks callers. *)
 
 val make_opts :
   ?latency:Dr_adversary.Latency.fn ->
@@ -48,6 +51,10 @@ val with_link_rate : float -> opts -> opts
 val with_crash : Dr_adversary.Crash_plan.t -> opts -> opts
 val with_trace : Dr_engine.Trace.t -> opts -> opts
 val with_arbiter : Dr_engine.Sim.arbiter -> opts -> opts
+
+val without_trace : opts -> opts
+(** Drop the trace sink (an exploration run re-executes thousands of
+    schedules; tracing them is noise). *)
 
 val build_config : Problem.instance -> opts -> Dr_engine.Sim.config
 (** Simulator configuration for the instance: a fresh counting data source

@@ -7,19 +7,31 @@ module Msg = struct
   let tag () = "none"
 end
 
-module S = Dr_engine.Sim.Make (Msg)
-
 let name = "naive"
 let supports _ = Ok ()
 
-let run ?(opts = Exec.default) inst =
-  let cfg = Exec.build_config inst opts in
-  let n = Problem.n inst in
-  let process _i =
+module Process (T : Transport.S with type msg = Msg.t) = struct
+  let run inst _i =
+    let n = Problem.n inst in
     let y = Bitarray.create n in
     for j = 0 to n - 1 do
-      Bitarray.set y j (S.query j)
+      Bitarray.set y j (T.query j)
     done;
     y
-  in
-  Exec.finish ~protocol:name inst (S.run cfg process)
+end
+
+let core () : (module Transport.CORE) =
+  (module struct
+    let name = name
+    let supports = supports
+
+    module Msg = Msg
+    module Process = Process
+  end)
+
+module ST = Sim_transport.Make (Msg)
+module SP = Process (ST)
+
+let run ?(opts = Exec.default) inst =
+  let cfg = Exec.build_config inst opts in
+  Exec.finish ~protocol:name inst (ST.run_sim cfg (SP.run inst))

@@ -6,3 +6,6 @@
     baseline every other protocol is compared against. *)
 
 include Exec.PROTOCOL
+
+val core : unit -> (module Transport.CORE)
+(** The transport-generic protocol core (see {!Transport.CORE}). *)

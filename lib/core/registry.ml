@@ -11,12 +11,44 @@ type entry = {
     ?rho:int ->
     Problem.instance ->
     Problem.report;
+  core :
+    ?attack:string ->
+    ?segments:int ->
+    ?rho:int ->
+    Problem.instance ->
+    (module Transport.CORE);
 }
+
+(* One parser per Byzantine attack vocabulary, shared by [run] (simulator
+   convenience runner) and [core] (transport-generic constructor) so the two
+   can never drift. *)
+let committee_attack = function
+  | "default" | "equivocate" -> Committee.Equivocate
+  | "silent" -> Committee.Honest_but_silent
+  | "flip" -> Committee.Flip
+  | "collude" -> Committee.Collude
+  | other -> failwith ("unknown committee attack: " ^ other)
+
+let byz_2cycle_attack ~t = function
+  | "default" | "nearmiss" -> Byz_2cycle.Near_miss
+  | "silent" -> Byz_2cycle.Silent
+  | "lie" -> Byz_2cycle.Consistent_lie
+  | "equivocate" -> Byz_2cycle.Equivocate
+  | "flood" -> Byz_2cycle.Flood (max 1 t)
+  | other -> failwith ("unknown 2cycle attack: " ^ other)
+
+let byz_multicycle_attack ~t = function
+  | "default" | "nearmiss" -> Byz_multicycle.Near_miss
+  | "silent" -> Byz_multicycle.Silent
+  | "lie" -> Byz_multicycle.Consistent_lie
+  | "equivocate" -> Byz_multicycle.Equivocate
+  | "flood" -> Byz_multicycle.Flood (max 1 t)
+  | other -> failwith ("unknown multicycle attack: " ^ other)
 
 (* Protocols without an attack surface accept (and ignore) any attack name,
    matching the CLI's historical behavior of only routing --attack to the
    Byzantine protocols. *)
-let plain (module P : Exec.PROTOCOL) ~model ~beta_sup ~spec =
+let plain (module P : Exec.PROTOCOL) ~core ~model ~beta_sup ~spec =
   {
     proto = (module P);
     model;
@@ -24,6 +56,7 @@ let plain (module P : Exec.PROTOCOL) ~model ~beta_sup ~spec =
     spec;
     attacks = [ "default" ];
     run = (fun ?opts ?attack:_ ?segments:_ ?rho:_ inst -> P.run ?opts inst);
+    core = (fun ?attack:_ ?segments:_ ?rho:_ _inst -> core ());
   }
 
 let committee_entry =
@@ -35,15 +68,10 @@ let committee_entry =
     attacks = [ "equivocate"; "silent"; "flip"; "collude" ];
     run =
       (fun ?opts ?(attack = "default") ?segments:_ ?rho:_ inst ->
-        let attack =
-          match attack with
-          | "default" | "equivocate" -> Committee.Equivocate
-          | "silent" -> Committee.Honest_but_silent
-          | "flip" -> Committee.Flip
-          | "collude" -> Committee.Collude
-          | other -> failwith ("unknown committee attack: " ^ other)
-        in
-        Committee.run_with ?opts ~attack inst);
+        Committee.run_with ?opts ~attack:(committee_attack attack) inst);
+    core =
+      (fun ?(attack = "default") ?segments:_ ?rho:_ _inst ->
+        Committee.core ~attack:(committee_attack attack) ());
   }
 
 let byz_2cycle_entry =
@@ -55,16 +83,12 @@ let byz_2cycle_entry =
     attacks = [ "nearmiss"; "silent"; "lie"; "equivocate"; "flood" ];
     run =
       (fun ?opts ?(attack = "default") ?segments ?rho inst ->
-        let attack =
-          match attack with
-          | "default" | "nearmiss" -> Byz_2cycle.Near_miss
-          | "silent" -> Byz_2cycle.Silent
-          | "lie" -> Byz_2cycle.Consistent_lie
-          | "equivocate" -> Byz_2cycle.Equivocate
-          | "flood" -> Byz_2cycle.Flood (max 1 (Problem.t inst))
-          | other -> failwith ("unknown 2cycle attack: " ^ other)
-        in
+        let attack = byz_2cycle_attack ~t:(Problem.t inst) attack in
         Byz_2cycle.run_with ?opts ~attack ?segments ?rho inst);
+    core =
+      (fun ?(attack = "default") ?segments ?rho inst ->
+        let attack = byz_2cycle_attack ~t:(Problem.t inst) attack in
+        Byz_2cycle.core ~attack ?segments ?rho ());
   }
 
 let byz_multicycle_entry =
@@ -76,24 +100,25 @@ let byz_multicycle_entry =
     attacks = [ "nearmiss"; "silent"; "lie"; "equivocate"; "flood" ];
     run =
       (fun ?opts ?(attack = "default") ?segments ?rho inst ->
-        let attack =
-          match attack with
-          | "default" | "nearmiss" -> Byz_multicycle.Near_miss
-          | "silent" -> Byz_multicycle.Silent
-          | "lie" -> Byz_multicycle.Consistent_lie
-          | "equivocate" -> Byz_multicycle.Equivocate
-          | "flood" -> Byz_multicycle.Flood (max 1 (Problem.t inst))
-          | other -> failwith ("unknown multicycle attack: " ^ other)
-        in
+        let attack = byz_multicycle_attack ~t:(Problem.t inst) attack in
         Byz_multicycle.run_with ?opts ~attack ?segments ?rho inst);
+    core =
+      (fun ?(attack = "default") ?segments ?rho inst ->
+        let attack = byz_multicycle_attack ~t:(Problem.t inst) attack in
+        Byz_multicycle.core ~attack ?segments ?rho ());
   }
 
 let all =
   [
-    plain (module Naive) ~model:Problem.Crash ~beta_sup:1. ~spec:Spec.naive;
-    plain (module Balanced) ~model:Problem.Crash ~beta_sup:0. ~spec:Spec.balanced;
-    plain (module Crash_single) ~model:Problem.Crash ~beta_sup:0. ~spec:Spec.crash_single;
-    plain (module Crash_general) ~model:Problem.Crash ~beta_sup:1. ~spec:Spec.crash_general;
+    plain (module Naive) ~core:Naive.core ~model:Problem.Crash ~beta_sup:1. ~spec:Spec.naive;
+    plain (module Balanced) ~core:Balanced.core ~model:Problem.Crash ~beta_sup:0.
+      ~spec:Spec.balanced;
+    plain (module Crash_single) ~core:Crash_single.core ~model:Problem.Crash ~beta_sup:0.
+      ~spec:Spec.crash_single;
+    plain
+      (module Crash_general)
+      ~core:(fun () -> Crash_general.core ())
+      ~model:Problem.Crash ~beta_sup:1. ~spec:Spec.crash_general;
     committee_entry;
     byz_2cycle_entry;
     byz_multicycle_entry;

@@ -37,6 +37,19 @@ type entry = {
           "flood") — protocols without an attack surface ignore it, the
           Byzantine ones raise [Failure] on a name outside their catalog.
           [segments] and [rho] apply to the randomized protocols only. *)
+  core :
+    ?attack:string ->
+    ?segments:int ->
+    ?rho:int ->
+    Problem.instance ->
+    (module Transport.CORE);
+      (** the transport-generic constructor: same parameter vocabulary as
+          [run] (the instance is consulted only to scale attack parameters
+          such as the flood group count), but instead of executing on the
+          simulator it packages the protocol core for instantiation over any
+          {!Transport.S}. [run] is the simulator shortcut; [core] is what
+          transport-agnostic drivers ([dr_download --transport net], the
+          conformance tests) use. *)
 }
 
 val all : entry list

@@ -1,0 +1,24 @@
+(* The simulator transport: a thin renaming of Dr_engine.Sim.Make to the
+   Transport.S vocabulary. Every function is a direct alias, so protocol
+   cores instantiated over it execute the exact same effect sequence as the
+   pre-transport code — the golden determinism tests pin this bit-exactly. *)
+
+module Make (M : Transport.MSG) = struct
+  module S = Dr_engine.Sim.Make (M)
+
+  type msg = M.t
+
+  let me = S.me
+  let peer_count = S.peer_count
+  let send = S.send
+  let broadcast = S.broadcast
+  let receive = S.receive
+  let query = S.query
+  let clock = S.now
+  let rng = S.rng
+  let sleep = S.sleep
+  let note = S.note
+  let die = S.die
+
+  let run_sim = S.run
+end

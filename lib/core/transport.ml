@@ -1,0 +1,38 @@
+(* The transport abstraction: exactly the primitives the protocol cores use,
+   lifted out of Dr_engine.Sim so that the same protocol code can run either
+   inside the deterministic simulator or as a real OS process over sockets
+   (lib/net). See DESIGN.md "Transport layer". *)
+
+module type MSG = sig
+  type t
+
+  val size_bits : t -> int
+  val tag : t -> string
+end
+
+module type S = sig
+  type msg
+
+  val me : unit -> int
+  val peer_count : unit -> int
+  val send : int -> msg -> unit
+  val broadcast : msg -> unit
+  val receive : unit -> int * msg
+  val query : int -> bool
+  val clock : unit -> float
+  val rng : unit -> Dr_engine.Prng.t
+  val sleep : float -> unit
+  val note : string -> unit
+  val die : unit -> 'a
+end
+
+module type CORE = sig
+  val name : string
+  val supports : Problem.instance -> (unit, string) result
+
+  module Msg : MSG
+
+  module Process (T : S with type msg = Msg.t) : sig
+    val run : Problem.instance -> int -> Dr_source.Bitarray.t
+  end
+end

@@ -1,0 +1,93 @@
+(** The transport abstraction of the protocol layer.
+
+    The paper's protocols are defined purely in terms of point-to-point
+    messages to other peers and [Query(i)] calls to the external source.
+    {!S} captures exactly that interface — plus the clock/sleep/die hooks the
+    Byzantine strategies use — so a protocol core written against it is
+    oblivious to {e where} it runs. Two implementations exist:
+
+    - {!Sim_transport}: the deterministic discrete-event simulator
+      ({!Dr_engine.Sim}), bit-exact with the pre-refactor behaviour;
+    - [Dr_net.Net_transport]: a real runtime where each peer is an OS
+      process exchanging length-prefixed frames over loopback/LAN sockets
+      and querying a standalone data-source server ([dr_source_server]).
+
+    {!CORE} packages a protocol as a first-class transport-generic
+    constructor; {!Registry.entry.core} exposes one per protocol. *)
+
+(** Message vocabulary of one protocol: payload type plus the accounting and
+    tracing views. Identical to {!Dr_engine.Sim.MESSAGE}, so a protocol's
+    [Msg] module satisfies both. *)
+module type MSG = sig
+  type t
+
+  val size_bits : t -> int
+  (** Size charged against the message-complexity accounting (the model's
+      [B] bound). *)
+
+  val tag : t -> string
+  (** Short label used in traces. *)
+end
+
+(** The transport signature. Calls are only legal from inside a peer
+    process executed by the owning runtime (the simulator event loop, or a
+    peer OS process of the net runtime). *)
+module type S = sig
+  type msg
+
+  val me : unit -> int
+  val peer_count : unit -> int
+
+  val send : int -> msg -> unit
+  val broadcast : msg -> unit
+  (** [broadcast m] sends [m] to every other peer, in ID order. *)
+
+  val receive : unit -> int * msg
+  (** Next delivered message as [(sender, message)]; blocks until one
+      arrives. *)
+
+  val query : int -> bool
+  (** Read one bit from the external source (counted in Q — every transport
+      must meter this through {!Dr_source.Data_source} accounting). *)
+
+  val clock : unit -> float
+  (** Elapsed time: virtual in the simulator, wall-clock in the net runtime.
+      Only for Byzantine strategies and instrumentation — honest protocol
+      logic must not read the clock (the model has no global time). *)
+
+  val rng : unit -> Dr_engine.Prng.t
+  (** This peer's private random stream. Transports derive it from the
+      instance seed by the same splitting discipline, so protocol coin flips
+      agree across runtimes. *)
+
+  val sleep : float -> unit
+  (** Wait for a duration. Only for Byzantine/adversarial code. *)
+
+  val note : string -> unit
+  (** Free-form trace annotation (a no-op where there is no trace). *)
+
+  val die : unit -> 'a
+  (** The crashable hook: stop executing this peer immediately (voluntary
+      halt of a Byzantine strategy, or transport-internal crash injection).
+      Each transport raises its own control exception — protocol code must
+      not catch it. *)
+end
+
+(** A transport-generic protocol: its message vocabulary and a process body
+    that can be instantiated over any {!S}. Obtain values of this type from
+    {!Registry.entry.core} — the constructor closes over the protocol's
+    attack/segment parameters so [Process(T).run] needs only the instance
+    and the peer id. *)
+module type CORE = sig
+  val name : string
+  val supports : Problem.instance -> (unit, string) result
+
+  module Msg : MSG
+
+  module Process (T : S with type msg = Msg.t) : sig
+    val run : Problem.instance -> int -> Dr_source.Bitarray.t
+    (** [run inst i] is the full per-peer protocol body (honest or
+        Byzantine, per [inst]'s fault partition). Returns the peer's output
+        array; faulty peers may instead [T.die]. *)
+  end
+end

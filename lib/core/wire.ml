@@ -37,6 +37,8 @@ module Assembly = struct
       t.missing <- t.missing - 1;
       if expected > 0 then Bitarray.blit ~src:payload ~dst:t.buffer ~pos
     end
+    else if expected > 0 && not (Bitarray.equal payload (Bitarray.sub t.buffer ~pos ~len:expected))
+    then invalid_arg "Wire.Assembly.add: duplicate part with conflicting payload"
 
   let complete t = t.missing = 0
 
@@ -45,4 +47,26 @@ module Assembly = struct
     Bitarray.copy t.buffer
 
   let received_parts t = Array.length t.have - t.missing
+end
+
+module Frame = struct
+  let header_len = 4
+  let max_payload = 1 lsl 26
+
+  let encode_header len =
+    if len < 0 || len > max_payload then invalid_arg "Wire.Frame.encode_header: bad length";
+    let h = Bytes.create header_len in
+    Bytes.set_uint8 h 0 ((len lsr 24) land 0xff);
+    Bytes.set_uint8 h 1 ((len lsr 16) land 0xff);
+    Bytes.set_uint8 h 2 ((len lsr 8) land 0xff);
+    Bytes.set_uint8 h 3 (len land 0xff);
+    h
+
+  let decode_header h =
+    if Bytes.length h < header_len then invalid_arg "Wire.Frame.decode_header: short header";
+    let b i = Bytes.get_uint8 h i in
+    let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    if len > max_payload then
+      invalid_arg (Printf.sprintf "Wire.Frame.decode_header: length %d exceeds cap" len);
+    len
 end

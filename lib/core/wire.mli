@@ -20,12 +20,36 @@ module Assembly : sig
 
   val create : len:int -> b:int -> t
   val add : t -> part:int -> Dr_source.Bitarray.t -> unit
-  (** Ignores duplicate parts; raises [Invalid_argument] on a part whose
-      size is inconsistent with the declared length. *)
+  (** Ignores a duplicate part carrying the same payload as the first copy;
+      raises [Invalid_argument] on a part whose size is inconsistent with the
+      declared length, or on a duplicate whose payload {e differs} from the
+      copy already assembled (an equivocation — under crash faults a sender
+      never legitimately re-sends different bits for the same part). *)
 
   val complete : t -> bool
   val get : t -> Dr_source.Bitarray.t
   (** The reassembled string; raises [Invalid_argument] when incomplete. *)
 
   val received_parts : t -> int
+end
+
+module Frame : sig
+  (** Pure header codec for the length-prefixed byte frames of the socket
+      transport ([Dr_net]): a 4-byte big-endian payload length. Kept here so
+      the encoding is defined (and unit-testable) without any [Unix]
+      dependency; [Dr_net.Frame] does the actual descriptor I/O. *)
+
+  val header_len : int
+  (** 4. *)
+
+  val max_payload : int
+  (** Sanity cap on the decoded length (64 MiB) — a corrupt or hostile
+      header fails fast instead of provoking a giant allocation. *)
+
+  val encode_header : int -> bytes
+  (** Raises [Invalid_argument] outside [0, max_payload]. *)
+
+  val decode_header : bytes -> int
+  (** Reads the first [header_len] bytes; raises [Invalid_argument] on a
+      short buffer or an over-cap length. *)
 end

@@ -10,8 +10,9 @@ open Ppxlib
 type ctx = {
   in_lib : bool;  (** under lib/: L2 and L3 apply, and L1 in full *)
   in_core_engine : bool;  (** under lib/core or lib/engine: L5 applies *)
+  in_net : bool;  (** lib/net: the real socket runtime, exempt from the L1 Unix ban *)
   allow_random : bool;  (** lib/engine/prng.ml: the one seeded PRNG *)
-  allow_query : bool;  (** Exec/Problem/Dr_source: the Q-metering boundary *)
+  allow_query : bool;  (** Exec/Problem/Dr_source/Source_server: the Q-metering boundary *)
 }
 
 let ctx_of_path path =
@@ -24,15 +25,18 @@ let ctx_of_path path =
   let mem s = List.exists (String.equal s) segs in
   let in_lib = mem "lib" in
   let in_core_engine = in_lib && (mem "core" || mem "engine") in
+  let in_net = in_lib && mem "net" in
   let allow_random = in_lib && mem "engine" && String.equal base "prng.ml" in
   let allow_query =
     (in_lib && mem "source")
     || (in_lib && mem "core"
        && (String.equal base "exec.ml" || String.equal base "problem.ml"))
+    || (in_net && String.equal base "source_server.ml")
   in
-  { in_lib; in_core_engine; allow_random; allow_query }
+  { in_lib; in_core_engine; in_net; allow_random; allow_query }
 
-let lib_ctx = { in_lib = true; in_core_engine = false; allow_random = false; allow_query = false }
+let lib_ctx =
+  { in_lib = true; in_core_engine = false; in_net = false; allow_random = false; allow_query = false }
 let core_ctx = { lib_ctx with in_core_engine = true }
 
 (* ------------------------------------------------------------------ *)
@@ -74,11 +78,11 @@ let check_ident ctx parts : (Finding.rule * string) option =
       ( Finding.L5,
         "blocking Unix call inside fiber code stalls every simulated peer; fibers must stay \
          compute-only" )
-  | "Unix" :: _ when ctx.in_lib ->
+  | "Unix" :: _ when ctx.in_lib && not ctx.in_net ->
     Some
       ( Finding.L1,
         "Unix.* (wall clock, processes, IO) is nondeterministic under replay; keep real-world \
-         effects in bin/ or bench/" )
+         effects in bin/, bench/ or lib/net (the socket runtime)" )
   | [ "Hashtbl"; ("hash" | "seeded_hash" | "hash_param") ] when ctx.in_lib ->
     Some
       ( Finding.L1,
@@ -90,8 +94,8 @@ let check_ident ctx parts : (Finding.rule * string) option =
     when not ctx.allow_query ->
     Some
       ( Finding.L4,
-        "Data_source.query outside Exec/Problem/Dr_source bypasses Q metering; use the query \
-         function the simulator hands to the protocol" )
+        "Data_source.query outside Exec/Problem/Dr_source/Source_server bypasses Q metering; \
+         use the query function the runtime hands to the protocol" )
   | [ ("exit" | "at_exit") ] when ctx.in_core_engine ->
     Some
       ( Finding.L5,

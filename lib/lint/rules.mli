@@ -3,8 +3,9 @@
 type ctx = {
   in_lib : bool;  (** under lib/: L2 and L3 apply, and L1 in full *)
   in_core_engine : bool;  (** under lib/core or lib/engine: L5 applies *)
+  in_net : bool;  (** lib/net: the real socket runtime, exempt from the L1 Unix ban *)
   allow_random : bool;  (** lib/engine/prng.ml: the one seeded PRNG *)
-  allow_query : bool;  (** Exec/Problem/Dr_source: the Q-metering boundary *)
+  allow_query : bool;  (** Exec/Problem/Dr_source/Source_server: the Q-metering boundary *)
 }
 
 val ctx_of_path : string -> ctx

@@ -1,0 +1,31 @@
+module Wire = Dr_core.Wire
+
+let rec really_read fd buf off len =
+  if len > 0 then begin
+    let r = Unix.read fd buf off len in
+    if r = 0 then raise End_of_file;
+    really_read fd buf (off + r) (len - r)
+  end
+
+let rec write_all fd buf off len =
+  if len > 0 then begin
+    let w = Unix.write fd buf off len in
+    write_all fd buf (off + w) (len - w)
+  end
+
+let send_bytes fd payload =
+  let len = Bytes.length payload in
+  let header = Wire.Frame.encode_header len in
+  write_all fd header 0 (Bytes.length header);
+  write_all fd payload 0 len
+
+let recv_bytes fd =
+  let header = Bytes.create Wire.Frame.header_len in
+  really_read fd header 0 (Bytes.length header);
+  let len = Wire.Frame.decode_header header in
+  let payload = Bytes.create len in
+  really_read fd payload 0 len;
+  payload
+
+let send_value fd v = send_bytes fd (Marshal.to_bytes v [])
+let recv_value fd = Marshal.from_bytes (recv_bytes fd) 0

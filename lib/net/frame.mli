@@ -1,0 +1,18 @@
+(** Length-prefixed frame I/O over file descriptors.
+
+    Every byte exchanged by the socket transport — peer links, source
+    queries, child result pipes — travels in one of these frames: the
+    {!Dr_core.Wire.Frame} 4-byte big-endian length header followed by the
+    payload. Reads block until the full frame has arrived and raise
+    [End_of_file] on a connection closed mid-frame. *)
+
+val send_bytes : Unix.file_descr -> bytes -> unit
+val recv_bytes : Unix.file_descr -> bytes
+
+val send_value : Unix.file_descr -> 'a -> unit
+(** [Marshal] the value into one frame. *)
+
+val recv_value : Unix.file_descr -> 'a
+(** Unmarshal one frame. As with [Marshal.from_bytes] the result type is
+    trusted, not checked — only use on channels whose peer is this library
+    (both ends of every connection here are). *)

@@ -1,0 +1,134 @@
+module Prng = Dr_engine.Prng
+module Transport = Dr_core.Transport
+
+exception Crashed
+
+(* A simple blocking queue: receiver threads push raw frames, the protocol
+   thread pops them in [receive]. *)
+module Bqueue = struct
+  type 'a t = { q : 'a Queue.t; m : Mutex.t; c : Condition.t }
+
+  let create () = { q = Queue.create (); m = Mutex.create (); c = Condition.create () }
+
+  let push t v =
+    Mutex.lock t.m;
+    Queue.push v t.q;
+    Condition.signal t.c;
+    Mutex.unlock t.m
+
+  let pop t =
+    Mutex.lock t.m;
+    while Queue.is_empty t.q do
+      Condition.wait t.c t.m
+    done;
+    let v = Queue.pop t.q in
+    Mutex.unlock t.m;
+    v
+end
+
+type counters = {
+  mutable msgs : int;
+  mutable bits : int;
+  mutable max_msg_bits : int;
+  mutable wakeups : int;
+  mutable queries : int;
+}
+
+type env = {
+  me : int;
+  k : int;
+  links : Unix.file_descr option array;
+  inbox : (int * bytes) Bqueue.t;
+  source : Source_client.t;
+  prng : Prng.t;
+  crash : Dr_engine.Sim.crash_spec;
+  counters : counters;
+  start : float;
+}
+
+let make_counters () = { msgs = 0; bits = 0; max_msg_bits = 0; wakeups = 0; queries = 0 }
+
+let make_env ~me ~k ~links ~source ~prng ~crash =
+  {
+    me;
+    k;
+    links;
+    inbox = Bqueue.create ();
+    source;
+    prng;
+    crash;
+    counters = make_counters ();
+    start = Unix.gettimeofday ();
+  }
+
+(* Feed one peer link into the inbox until the remote end closes. Runs on
+   its own thread; [Marshal] decoding happens on the protocol thread (in
+   [receive]), keyed by the protocol's own message type. *)
+let receiver env ~src fd =
+  let rec loop () =
+    match Frame.recv_bytes fd with
+    | payload ->
+      Bqueue.push env.inbox (src, payload);
+      loop ()
+    | exception (End_of_file | Unix.Unix_error _) -> ()
+  in
+  loop ()
+
+let start_receivers env =
+  Array.iteri
+    (fun src link ->
+      match link with
+      | Some fd -> ignore (Thread.create (fun () -> receiver env ~src fd) ())
+      | None -> ())
+    env.links
+
+module Make (M : Transport.MSG) (E : sig
+  val env : env
+end) : Transport.S with type msg = M.t = struct
+  type msg = M.t
+
+  let e = E.env
+  let me () = e.me
+  let peer_count () = e.k
+
+  let send dst m =
+    (match e.crash with
+    | Dr_engine.Sim.After_sends j when e.counters.msgs >= j -> raise Crashed
+    | _ -> ());
+    let sz = M.size_bits m in
+    e.counters.msgs <- e.counters.msgs + 1;
+    e.counters.bits <- e.counters.bits + sz;
+    if sz > e.counters.max_msg_bits then e.counters.max_msg_bits <- sz;
+    match e.links.(dst) with
+    | Some fd -> (
+      (* A peer that already terminated may have closed its end; like the
+         simulator, which drops deliveries to finished peers, treat that as
+         a successful (lost) send. *)
+      try Frame.send_bytes fd (Marshal.to_bytes m [])
+      with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ())
+    | None -> invalid_arg "Net_transport.send: bad destination"
+
+  let broadcast m =
+    for dst = 0 to e.k - 1 do
+      if dst <> e.me then send dst m
+    done
+
+  let receive () =
+    e.counters.wakeups <- e.counters.wakeups + 1;
+    let src, payload = Bqueue.pop e.inbox in
+    (src, (Marshal.from_bytes payload 0 : M.t))
+
+  let query i =
+    let v = Source_client.query e.source i in
+    e.counters.queries <- e.counters.queries + 1;
+    (match e.crash with
+    | Dr_engine.Sim.After_queries j when e.counters.queries >= j -> raise Crashed
+    | _ -> ());
+    v
+
+  let clock () = Unix.gettimeofday () -. e.start
+  let rng () = e.prng
+  let sleep d = if d > 0. then Thread.delay d
+  let note _ = ()
+  let die () = raise Dr_engine.Sim.Halted
+end

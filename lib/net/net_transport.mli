@@ -1,0 +1,66 @@
+(** {!Dr_core.Transport.S} over real sockets.
+
+    One peer = one OS process; every peer link is a TCP connection carrying
+    {!Frame}s of [Marshal]-encoded protocol messages; [query] is a blocking
+    round-trip to the {!Source_server}. Per-link receiver threads feed a
+    blocking inbox so [receive] has the same "next delivered message"
+    semantics as the simulator.
+
+    Crash injection honours the event-counted {!Dr_engine.Sim.crash_spec}s:
+    [After_sends j] raises {!Crashed} on the (j+1)-th send attempt (the
+    message is lost), [After_queries j] right after the j-th query's reply.
+    [At_time] is rejected upstream by {!Runner} — wall-clock crash times are
+    not meaningful in an asynchronous run.
+
+    The peer's random stream reproduces the simulator's discipline: the
+    (me+1)-th [Prng.split] of [Prng.create seed], so protocol coin flips
+    agree across the two transports. *)
+
+exception Crashed
+(** Raised by the crash hooks; the peer process unwinds and reports no
+    output. Protocol code must not catch it. [die] raises
+    {!Dr_engine.Sim.Halted}, as on the simulator. *)
+
+module Bqueue : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val push : 'a t -> 'a -> unit
+  val pop : 'a t -> 'a
+end
+
+type counters = {
+  mutable msgs : int;
+  mutable bits : int;
+  mutable max_msg_bits : int;
+  mutable wakeups : int;
+  mutable queries : int;
+}
+
+type env = {
+  me : int;
+  k : int;
+  links : Unix.file_descr option array;  (** [links.(me) = None] *)
+  inbox : (int * bytes) Bqueue.t;
+  source : Source_client.t;
+  prng : Dr_engine.Prng.t;
+  crash : Dr_engine.Sim.crash_spec;
+  counters : counters;
+  start : float;
+}
+
+val make_env :
+  me:int ->
+  k:int ->
+  links:Unix.file_descr option array ->
+  source:Source_client.t ->
+  prng:Dr_engine.Prng.t ->
+  crash:Dr_engine.Sim.crash_spec ->
+  env
+
+val start_receivers : env -> unit
+(** Spawn one reader thread per open link, feeding [env.inbox]. *)
+
+module Make (M : Dr_core.Transport.MSG) (_ : sig
+  val env : env
+end) : Dr_core.Transport.S with type msg = M.t

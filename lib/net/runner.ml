@@ -1,0 +1,260 @@
+module Problem = Dr_core.Problem
+module Transport = Dr_core.Transport
+module Bitarray = Dr_source.Bitarray
+module Prng = Dr_engine.Prng
+
+type source = { host : string; port : int }
+
+type child_result = {
+  output : Bitarray.t option;
+  msgs : int;
+  bits : int;
+  max_msg_bits : int;
+  wakeups : int;
+  error : string option;
+}
+
+let failed_result error =
+  { output = None; msgs = 0; bits = 0; max_msg_bits = 0; wakeups = 0; error = Some error }
+
+(* The peer's private random stream: the (me+1)-th split of the master —
+   identical to the simulator's per-peer assignment, so randomized protocol
+   cores draw the same coin flips on both transports. *)
+let peer_prng ~seed me =
+  let master = Prng.create seed in
+  let prng = ref (Prng.split master) in
+  for _ = 1 to me do
+    prng := Prng.split master
+  done;
+  !prng
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let listener () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen fd 64;
+  let port =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> assert false
+  in
+  (fd, port)
+
+(* Full-mesh setup for peer [me]: connect to every lower peer (announcing
+   ourselves with a Hello frame), accept one connection from every higher
+   peer (learning who from its Hello). Connects never deadlock against
+   accepts: the kernel completes handshakes out of the listen backlog. *)
+let build_mesh ~me ~k ~listeners ~ports =
+  let links = Array.make k None in
+  Array.iteri (fun j fd -> if j <> me then close_quietly fd) listeners;
+  for j = 0 to me - 1 do
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, ports.(j)));
+    Unix.setsockopt fd Unix.TCP_NODELAY true;
+    Frame.send_value fd (me : int);
+    links.(j) <- Some fd
+  done;
+  for _ = me + 1 to k - 1 do
+    let fd, _ = Unix.accept listeners.(me) in
+    Unix.setsockopt fd Unix.TCP_NODELAY true;
+    match (Frame.recv_value fd : int) with
+    | j when j > me && j < k && links.(j) = None -> links.(j) <- Some fd
+    | _ -> failwith "mesh handshake violation"
+  done;
+  close_quietly listeners.(me);
+  links
+
+let child_main (module C : Transport.CORE) ~inst ~me ~host ~source_port ~listeners ~ports
+    ~crash_spec =
+  let k = inst.Problem.k in
+  let source = Source_client.connect ~host ~port:source_port ~peer:me () in
+  let links = build_mesh ~me ~k ~listeners ~ports in
+  let env =
+    Net_transport.make_env ~me ~k ~links ~source
+      ~prng:(peer_prng ~seed:inst.Problem.seed me)
+      ~crash:crash_spec
+  in
+  Net_transport.start_receivers env;
+  let module T =
+    Net_transport.Make
+      (C.Msg)
+      (struct
+        let env = env
+      end)
+  in
+  let module P = C.Process (T) in
+  let output, error =
+    match P.run inst me with
+    | y -> (Some y, None)
+    | exception (Net_transport.Crashed | Dr_engine.Sim.Halted) -> (None, None)
+    | exception e -> (None, Some (Printexc.to_string e))
+  in
+  let c = env.Net_transport.counters in
+  let result =
+    {
+      output;
+      msgs = c.Net_transport.msgs;
+      bits = c.Net_transport.bits;
+      max_msg_bits = c.Net_transport.max_msg_bits;
+      wakeups = c.Net_transport.wakeups;
+      error;
+    }
+  in
+  Array.iter (function Some fd -> close_quietly fd | None -> ()) links;
+  Source_client.close source;
+  result
+
+let collect_results ~k ~deadline read_ends =
+  let results = Array.make k None in
+  let pending = ref (Array.to_list (Array.mapi (fun i fd -> (i, fd)) read_ends)) in
+  let now = Unix.gettimeofday in
+  while !pending <> [] && now () < deadline do
+    let fds = List.map snd !pending in
+    let ready, _, _ = Unix.select fds [] [] (max 0.01 (deadline -. now ())) in
+    pending :=
+      List.filter
+        (fun (i, fd) ->
+          if List.mem fd ready then begin
+            (match (Frame.recv_value fd : child_result) with
+            | r -> results.(i) <- Some r
+            | exception _ -> results.(i) <- Some (failed_result "result channel closed"));
+            false
+          end
+          else true)
+        !pending
+  done;
+  results
+
+let run ?(timeout = 60.) ?source ?(crash = Dr_adversary.Crash_plan.none)
+    (module C : Transport.CORE) inst =
+  (match C.supports inst with
+  | Ok () -> ()
+  | Error e -> failwith (C.name ^ ": " ^ e));
+  let k = inst.Problem.k in
+  let crash_specs =
+    Array.init k (fun i ->
+        match crash i with
+        | Dr_engine.Sim.At_time _ ->
+          failwith "net transport does not support At_time crash plans"
+        | spec -> spec)
+  in
+  (* Sends to a peer that already exited surface as EPIPE on the writer;
+     without this the default SIGPIPE disposition would kill the process. *)
+  let prev_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let t0 = Unix.gettimeofday () in
+  let server, host, source_port =
+    match source with
+    | Some { host; port } -> (None, host, port)
+    | None ->
+      let s = Source_server.create ~k inst.Problem.x in
+      Source_server.start s;
+      (Some s, "127.0.0.1", Source_server.port s)
+  in
+  let control = Source_client.connect ~host ~port:source_port ~peer:Source_proto.control_peer () in
+  (* Stats are deltas so an external long-running server works too. *)
+  let base_stats, _ = Source_client.stats control in
+  let listeners_ports = Array.init k (fun _ -> listener ()) in
+  let listeners = Array.map fst listeners_ports in
+  let ports = Array.map snd listeners_ports in
+  let pipes = Array.init k (fun _ -> Unix.pipe ()) in
+  let pids =
+    Array.init k (fun i ->
+        match Unix.fork () with
+        | 0 ->
+          (* Child: runs the peer process and ships one result frame back.
+             [_exit], not [exit]: flushing channels inherited from the
+             parent would duplicate its buffered output. *)
+          Array.iteri
+            (fun j (r, w) ->
+              close_quietly r;
+              if j <> i then close_quietly w)
+            pipes;
+          (try
+             let result =
+               try
+                 child_main
+                   (module C)
+                   ~inst ~me:i ~host ~source_port ~listeners ~ports
+                   ~crash_spec:crash_specs.(i)
+               with e -> failed_result (Printexc.to_string e)
+             in
+             Frame.send_value (snd pipes.(i)) result
+           with _ -> ());
+          Unix._exit 0
+        | pid -> pid)
+  in
+  Array.iter close_quietly listeners;
+  Array.iter (fun (_, w) -> close_quietly w) pipes;
+  let read_ends = Array.map fst pipes in
+  let results = collect_results ~k ~deadline:(t0 +. timeout) read_ends in
+  Array.iter close_quietly read_ends;
+  Array.iter
+    (fun pid ->
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid)
+      | _ -> ()
+      | exception Unix.Unix_error _ -> ())
+    pids;
+  let final_stats, _ = Source_client.stats control in
+  (match server with
+  | Some s ->
+    Source_client.shutdown control;
+    Source_server.stop s
+  | None -> ());
+  Source_client.close control;
+  let time = Unix.gettimeofday () -. t0 in
+  ignore (Sys.signal Sys.sigpipe prev_sigpipe);
+  (* Report errors that are neither injected crashes nor voluntary halts. *)
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Some { error = Some e; _ } ->
+        (* dr-lint: allow L3 — a child process died unexpectedly; stderr is the only channel left *)
+        Printf.eprintf "dr_net: peer %d failed: %s\n%!" i e
+      | _ -> ())
+    results;
+  let honest = Problem.honest inst in
+  let wrong = ref [] in
+  let timed_out = ref [] in
+  let msgs = ref 0 and bits = ref 0 and max_msg_bits = ref 0 and wakeups_max = ref 0 in
+  let q_total = ref 0 and q_max = ref 0 and honest_count = ref 0 in
+  for i = k - 1 downto 0 do
+    if honest i then begin
+      incr honest_count;
+      let q = final_stats.(i) - base_stats.(i) in
+      q_total := !q_total + q;
+      if q > !q_max then q_max := q;
+      match results.(i) with
+      | Some { output = Some y; msgs = m; bits = b; max_msg_bits = mb; wakeups = w; _ } ->
+        msgs := !msgs + m;
+        bits := !bits + b;
+        if mb > !max_msg_bits then max_msg_bits := mb;
+        if w > !wakeups_max then wakeups_max := w;
+        if not (Bitarray.equal y inst.Problem.x) then wrong := i :: !wrong
+      | Some { output = None; msgs = m; bits = b; max_msg_bits = mb; wakeups = w; _ } ->
+        msgs := !msgs + m;
+        bits := !bits + b;
+        if mb > !max_msg_bits then max_msg_bits := mb;
+        if w > !wakeups_max then wakeups_max := w;
+        wrong := i :: !wrong
+      | None ->
+        timed_out := i :: !timed_out;
+        wrong := i :: !wrong
+    end
+  done;
+  {
+    Problem.protocol = C.name;
+    ok = !wrong = [];
+    wrong = !wrong;
+    q_max = !q_max;
+    q_mean = (if !honest_count = 0 then 0. else float_of_int !q_total /. float_of_int !honest_count);
+    q_total = !q_total;
+    msgs = !msgs;
+    bits_sent = !bits;
+    max_msg_bits = !max_msg_bits;
+    time;
+    wakeups_max = !wakeups_max;
+    status = (if !timed_out = [] then Dr_engine.Sim.Completed else Dr_engine.Sim.Deadlock !timed_out);
+  }

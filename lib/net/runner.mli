@@ -1,0 +1,34 @@
+(** Run a transport-generic protocol core as [k] real OS processes.
+
+    The runner forks one child per peer; children wire themselves into a
+    full TCP mesh over loopback (ports are bound by the parent before
+    forking, so there is no registration round), connect to the data-source
+    server, and execute [Core.Process(Net_transport).run]. Each child ships
+    its output array and message counters back over a pipe; the paper's Q is
+    read from the {e server's} per-peer accounting, the authoritative meter.
+
+    The resulting {!Dr_core.Problem.report} has the same correctness verdict
+    semantics as the simulator path ([Exec.finish]): [ok] iff every honest
+    peer terminated with output = X. [time] is wall-clock seconds (not
+    comparable with the simulator's virtual T), and message/timing totals
+    reflect this particular real schedule — only schedule-invariant
+    quantities (the verdict; query counts of schedule-invariant protocol
+    configurations) are comparable across transports. *)
+
+type source = { host : string; port : int }
+
+val run :
+  ?timeout:float ->
+  ?source:source ->
+  ?crash:Dr_adversary.Crash_plan.t ->
+  (module Dr_core.Transport.CORE) ->
+  Dr_core.Problem.instance ->
+  Dr_core.Problem.report
+(** Defaults: [timeout = 60.] seconds of wall clock, after which stuck
+    children are killed and reported in a [Deadlock] status; [source] — a
+    {!Source_server} spawned in-process for the instance's array (pass an
+    address to use an external [dr_source_server], whose query counters are
+    then read as deltas); [crash] — no crashes. Raises [Failure] when the
+    core rejects the instance ([supports]) or the crash plan contains an
+    [At_time] spec (wall-clock crash instants are not meaningful here — use
+    the event-counted specs). *)

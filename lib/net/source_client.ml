@@ -1,0 +1,46 @@
+type t = { fd : Unix.file_descr }
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+    | { Unix.ai_addr = Unix.ADDR_INET (addr, _); _ } :: _ -> addr
+    | _ -> failwith ("cannot resolve host: " ^ host))
+
+let connect ?(host = "127.0.0.1") ~port ~peer () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (resolve host, port));
+  Unix.setsockopt fd Unix.TCP_NODELAY true;
+  Frame.send_value fd (Source_proto.Hello peer);
+  { fd }
+
+let request t (r : Source_proto.request) : Source_proto.response =
+  Frame.send_value t.fd r;
+  Frame.recv_value t.fd
+
+let query t i =
+  match request t (Source_proto.Query i) with
+  | Source_proto.Bit v -> v
+  | Source_proto.Err e -> failwith ("source: " ^ e)
+  | _ -> failwith "source: protocol violation (expected Bit)"
+
+let describe t =
+  match request t Source_proto.Describe with
+  | Source_proto.Description { n; k } -> (n, k)
+  | Source_proto.Err e -> failwith ("source: " ^ e)
+  | _ -> failwith "source: protocol violation (expected Description)"
+
+let stats t =
+  match request t Source_proto.Stats with
+  | Source_proto.Stats_reply { per_peer; total } -> (per_peer, total)
+  | Source_proto.Err e -> failwith ("source: " ^ e)
+  | _ -> failwith "source: protocol violation (expected Stats_reply)"
+
+let shutdown t =
+  match request t Source_proto.Shutdown with
+  | Source_proto.Bye -> ()
+  | exception End_of_file -> ()
+  | _ -> failwith "source: protocol violation (expected Bye)"
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

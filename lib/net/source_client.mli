@@ -1,0 +1,22 @@
+(** Client side of the {!Source_server} service: one connection, one peer
+    identity, blocking request/response. *)
+
+type t
+
+val connect : ?host:string -> port:int -> peer:int -> unit -> t
+(** Connect and send [Hello peer]. [peer = Source_proto.control_peer] opens
+    an accounting/control connection. *)
+
+val query : t -> int -> bool
+(** [Query(i)]. Raises [Failure] on a server-side error. *)
+
+val describe : t -> int * int
+(** [(n, k)] of the served instance. *)
+
+val stats : t -> int array * int
+(** [(per_peer, total)] query counters. *)
+
+val shutdown : t -> unit
+(** Ask the server to stop (control connections). *)
+
+val close : t -> unit

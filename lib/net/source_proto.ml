@@ -1,0 +1,15 @@
+type request =
+  | Hello of int
+  | Query of int
+  | Stats
+  | Describe
+  | Shutdown
+
+type response =
+  | Bit of bool
+  | Stats_reply of { per_peer : int array; total : int }
+  | Description of { n : int; k : int }
+  | Bye
+  | Err of string
+
+let control_peer = -1

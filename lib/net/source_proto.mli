@@ -1,0 +1,25 @@
+(** The request/response vocabulary of the data-source service.
+
+    One {!Frame} per value, [Marshal]-encoded. A connection starts with a
+    single [Hello peer] identifying the querying peer (queries on that
+    connection are charged to it), followed by any number of requests, each
+    answered with exactly one response. *)
+
+type request =
+  | Hello of int
+      (** peer id in [0, k); {!control_peer} opens an accounting/control
+          connection that may not query *)
+  | Query of int  (** the model's [Query(i)]: read bit [i] of the input *)
+  | Stats  (** per-peer query counters *)
+  | Describe  (** the served instance's dimensions *)
+  | Shutdown  (** stop the server (control connections only) *)
+
+type response =
+  | Bit of bool
+  | Stats_reply of { per_peer : int array; total : int }
+  | Description of { n : int; k : int }
+  | Bye  (** acknowledges [Shutdown] *)
+  | Err of string  (** protocol violation or out-of-range argument *)
+
+val control_peer : int
+(** [-1]: the [Hello] id of a non-querying control connection. *)

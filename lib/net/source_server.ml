@@ -1,0 +1,112 @@
+module Data_source = Dr_source.Data_source
+
+type t = {
+  source : Data_source.t;
+  k : int;
+  lsock : Unix.file_descr;
+  port : int;
+  lock : Mutex.t;
+  mutable stopping : bool;
+  mutable accepter : Thread.t option;
+}
+
+let create ?(addr = Unix.inet_addr_loopback) ?(port = 0) ~k x =
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+  Unix.bind lsock (Unix.ADDR_INET (addr, port));
+  Unix.listen lsock 64;
+  let port =
+    match Unix.getsockname lsock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  {
+    source = Data_source.create ~k x;
+    k;
+    lsock;
+    port;
+    lock = Mutex.create ();
+    stopping = false;
+    accepter = None;
+  }
+
+let port t = t.port
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let stats t =
+  locked t (fun () -> Array.init t.k (Data_source.queries_by t.source))
+
+let total_queries t = locked t (fun () -> Data_source.total_queries t.source)
+
+(* One thread per connection; every query is answered through the metered
+   Data_source under the server lock — this call is the net runtime's whole
+   Q-accounting boundary (lint rule L4 confines [Data_source.query] here). *)
+let handle t fd =
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  let reply (r : Source_proto.response) = Frame.send_value fd r in
+  (try
+     match (Frame.recv_value fd : Source_proto.request) with
+     | Hello peer when peer >= -1 && peer < t.k ->
+       let rec loop () =
+         match (Frame.recv_value fd : Source_proto.request) with
+         | Query i ->
+           (if peer < 0 then reply (Err "control connection cannot query")
+            else
+              match locked t (fun () -> Data_source.query t.source ~peer i) with
+              | v -> reply (Bit v)
+              | exception Invalid_argument e -> reply (Err e));
+           loop ()
+         | Stats ->
+           reply
+             (Stats_reply
+                { per_peer = stats t; total = total_queries t });
+           loop ()
+         | Describe ->
+           reply (Description { n = Data_source.n t.source; k = t.k });
+           loop ()
+         | Shutdown ->
+           t.stopping <- true;
+           reply Bye
+         | Hello _ -> reply (Err "already greeted")
+       in
+       loop ()
+     | Hello _ -> reply (Err "peer id out of range")
+     | _ -> reply (Err "expected Hello")
+   with End_of_file | Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve t =
+  let rec loop () =
+    if not t.stopping then begin
+      match Unix.accept t.lsock with
+      | fd, _ ->
+        if t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
+        else begin
+          ignore (Thread.create (fun () -> handle t fd) ());
+          loop ()
+        end
+      | exception Unix.Unix_error _ -> ()
+    end
+  in
+  loop ();
+  try Unix.close t.lsock with Unix.Unix_error _ -> ()
+
+let start t = t.accepter <- Some (Thread.create serve t)
+
+let stop t =
+  t.stopping <- true;
+  (* Wake the accept loop with a throwaway connection. *)
+  (try
+     let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+     (try Unix.connect s (Unix.ADDR_INET (Unix.inet_addr_loopback, t.port))
+      with Unix.Unix_error _ -> ());
+     Unix.close s
+   with Unix.Unix_error _ -> ());
+  match t.accepter with
+  | Some th ->
+    Thread.join th;
+    t.accepter <- None
+  | None -> ( try Unix.close t.lsock with Unix.Unix_error _ -> ())

@@ -85,7 +85,31 @@ let ctx_of_path () =
   Alcotest.(check bool) "relative paths still resolve lib/" true c.Rules.in_lib;
   Alcotest.(check bool) "stats is not fiber zone" false c.Rules.in_core_engine;
   let c = Rules.ctx_of_path "bench/bench_regress.ml" in
-  Alcotest.(check bool) "bench is outside lib/" false c.Rules.in_lib
+  Alcotest.(check bool) "bench is outside lib/" false c.Rules.in_lib;
+  let c = Rules.ctx_of_path "lib/net/runner.ml" in
+  Alcotest.(check bool) "net is the socket runtime" true c.Rules.in_net;
+  Alcotest.(check bool) "net runner may not query" false c.Rules.allow_query;
+  let c = Rules.ctx_of_path "lib/net/source_server.ml" in
+  Alcotest.(check bool) "source server is the net Q meter" true c.Rules.allow_query
+
+(* ---- the lib/net zone ---- *)
+
+(* The socket runtime is exempt from the L1 Unix ban (it IS the real-world
+   effect layer), but L4 query confinement still applies outside its
+   source_server, and L1 still bans ambient randomness. *)
+let net_zone_rules () =
+  let lint path src = Driver.lint_source ~ctx:(Rules.ctx_of_path path) ~path src in
+  let r = lint "lib/net/fake.ml" "let now () = Unix.gettimeofday ()" in
+  Alcotest.(check int) "Unix allowed in lib/net" 0 (List.length r.Driver.findings);
+  let r = lint "lib/engine/fake.ml" "let now () = Unix.gettimeofday ()" in
+  Alcotest.(check int) "Unix still banned elsewhere" 1 (List.length r.Driver.findings);
+  let r = lint "lib/net/fake.ml" "let q s i = Dr_source.Data_source.query s ~peer:0 i" in
+  Alcotest.(check int) "query banned in net runner code" 1 (List.length r.Driver.findings);
+  let r = lint "lib/net/source_server.ml" "let q s i = Dr_source.Data_source.query s ~peer:0 i" in
+  Alcotest.(check int) "query allowed in the net source server" 0 (List.length r.Driver.findings);
+  let r = lint "lib/net/fake.ml" "let roll () = Random.int 6" in
+  Alcotest.(check int) "ambient randomness still banned in lib/net" 1
+    (List.length r.Driver.findings)
 
 (* ---- the live tree ---- *)
 
@@ -96,7 +120,7 @@ let live_tree_clean () =
   let rendered = Format.asprintf "%a" Driver.pp_report report in
   Alcotest.(check bool) "scans the whole tree" true (report.Driver.files_scanned > 50);
   if not (Driver.clean report) then Alcotest.failf "live tree has findings:@.%s" rendered;
-  Alcotest.(check int) "pragmas in deliberate use" 2 report.Driver.total_suppressed
+  Alcotest.(check int) "pragmas in deliberate use" 3 report.Driver.total_suppressed
 
 (* Deleting a pragma must re-expose the violation it waives, pointing at the
    right file:line [RULE] — the acceptance criterion for the escape hatch. *)
@@ -177,6 +201,7 @@ let suite =
     Alcotest.test_case "pragma: unused is reported" `Quick pragma_unused;
     Alcotest.test_case "pragma: needs a comment opener" `Quick pragma_needs_comment_opener;
     Alcotest.test_case "ctx_of_path zones" `Quick ctx_of_path;
+    Alcotest.test_case "lib/net zone rules" `Quick net_zone_rules;
     Alcotest.test_case "live tree is lint-clean" `Quick live_tree_clean;
     Alcotest.test_case "deleting a pragma re-exposes the finding" `Quick pragma_deletion_detected;
     Alcotest.test_case "reverting a fix re-exposes the finding" `Quick fix_reversion_detected;

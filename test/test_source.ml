@@ -223,6 +223,33 @@ let test_wire_duplicate_parts_ignored () =
   checki "received counted once" 2 (Dr_core.Wire.Assembly.received_parts asm);
   checkb "still correct" true (Bitarray.equal bits (Dr_core.Wire.Assembly.get asm))
 
+let test_wire_conflicting_duplicate_raises () =
+  (* A duplicate of part 0 whose payload differs from the first copy must be
+     rejected, not silently dropped: under a Byzantine sender the first-write
+     -wins policy would otherwise hide an equivocation. *)
+  let bits = Bitarray.of_string "110011" in
+  let asm = Dr_core.Wire.Assembly.create ~len:6 ~b:3 in
+  let parts = Dr_core.Wire.split ~b:3 bits in
+  List.iter (fun (part, payload) -> Dr_core.Wire.Assembly.add asm ~part payload) parts;
+  let conflicting = Bitarray.of_string "000" in
+  Alcotest.check_raises "conflicting duplicate"
+    (Invalid_argument "Wire.Assembly.add: duplicate part with conflicting payload")
+    (fun () -> Dr_core.Wire.Assembly.add asm ~part:0 conflicting);
+  (* Identical duplicates are still fine and the payload is untouched. *)
+  List.iter (fun (part, payload) -> Dr_core.Wire.Assembly.add asm ~part payload) parts;
+  checkb "payload intact" true (Bitarray.equal bits (Dr_core.Wire.Assembly.get asm))
+
+let test_wire_frame_header_roundtrip () =
+  List.iter
+    (fun len ->
+      let hdr = Dr_core.Wire.Frame.encode_header len in
+      checki "header width" Dr_core.Wire.Frame.header_len (Bytes.length hdr);
+      checki "roundtrip" len (Dr_core.Wire.Frame.decode_header hdr))
+    [ 0; 1; 255; 256; 65535; Dr_core.Wire.Frame.max_payload ];
+  Alcotest.check_raises "oversized length rejected"
+    (Invalid_argument "Wire.Frame.encode_header: bad length")
+    (fun () -> ignore (Dr_core.Wire.Frame.encode_header (Dr_core.Wire.Frame.max_payload + 1)))
+
 let test_wire_incomplete_get_raises () =
   let asm = Dr_core.Wire.Assembly.create ~len:10 ~b:4 in
   Alcotest.check_raises "incomplete get" (Invalid_argument "Wire.Assembly.get: incomplete")
@@ -259,6 +286,8 @@ let suite =
     ("wire roundtrip", `Quick, test_wire_roundtrip);
     ("wire empty payload", `Quick, test_wire_empty);
     ("wire duplicates ignored", `Quick, test_wire_duplicate_parts_ignored);
+    ("wire conflicting duplicate", `Quick, test_wire_conflicting_duplicate_raises);
+    ("wire frame header", `Quick, test_wire_frame_header_roundtrip);
     ("wire incomplete get", `Quick, test_wire_incomplete_get_raises);
     ("wire size mismatch", `Quick, test_wire_size_mismatch_raises);
   ]

@@ -1,0 +1,72 @@
+(* Transport conformance: the simulator runtime and the socket runtime must
+   agree on everything that is schedule-invariant.
+
+   Each scenario runs the same registry protocol on the same instance twice —
+   once through [Exec] (the deterministic simulator) and once through
+   [Dr_net.Runner] (k forked OS processes over loopback, querying a real
+   source server) — and asserts identical verdicts and query counts. Message
+   and timing totals are NOT compared: they depend on the delivery schedule,
+   which the network does not replay. The scenarios below are chosen so the
+   per-peer query counts are schedule-invariant (deterministic query plans,
+   crash/attack behavior not keyed on arrival order). *)
+
+module Problem = Dr_core.Problem
+module Registry = Dr_core.Registry
+module Exec = Dr_core.Exec
+module Crash_plan = Dr_adversary.Crash_plan
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let entry name =
+  match Registry.find name with
+  | Some e -> e
+  | None -> Alcotest.failf "registry lost protocol %s" name
+
+(* [crash] is a function of the instance so the plan can target its fault
+   set. 30s of wall clock is an order of magnitude above what these tiny
+   instances need; it only bounds the damage of a hung child. *)
+let conform ?(attack = "default") ?(crash = fun _ -> Crash_plan.none) ~protocol ~k ~n ~t ~model
+    ~seed () =
+  let e = entry protocol in
+  let inst = Problem.random_instance ~seed ~model ~k ~n ~t () in
+  let crash = crash inst in
+  let sim =
+    e.Registry.run ~opts:(Exec.make_opts ~crash ()) ~attack inst
+  in
+  let net =
+    Dr_net.Runner.run ~timeout:30. ~crash (e.Registry.core ~attack inst) inst
+  in
+  checkb "sim verdict ok" true sim.Problem.ok;
+  checkb "net verdict matches" sim.Problem.ok net.Problem.ok;
+  checki "q_max matches" sim.Problem.q_max net.Problem.q_max;
+  checki "q_total matches" sim.Problem.q_total net.Problem.q_total;
+  Alcotest.(check (float 1e-9)) "q_mean matches" sim.Problem.q_mean net.Problem.q_mean
+
+let test_crash_general_faultfree () =
+  conform ~protocol:"crash-general" ~k:5 ~n:256 ~t:0 ~model:Problem.Crash ~seed:7L ()
+
+let test_crash_general_silent_crash () =
+  conform ~protocol:"crash-general" ~k:6 ~n:512 ~t:2 ~model:Problem.Crash ~seed:3L
+    ~crash:(fun inst -> Crash_plan.mid_broadcast inst.Problem.fault ~after_sends:0)
+    ()
+
+let test_byz_2cycle_silent () =
+  conform ~protocol:"byz-2cycle" ~attack:"silent" ~k:6 ~n:512 ~t:2 ~model:Problem.Byzantine
+    ~seed:3L ()
+
+let test_net_rejects_at_time_crash () =
+  let e = entry "crash-general" in
+  let inst = Problem.random_instance ~seed:1L ~model:Problem.Crash ~k:4 ~n:64 ~t:1 () in
+  let crash = Crash_plan.staggered inst.Problem.fault ~first:0.5 ~gap:2.0 in
+  match Dr_net.Runner.run ~timeout:30. ~crash (e.Registry.core inst) inst with
+  | _ -> Alcotest.fail "wall-clock crash instants must be rejected"
+  | exception Failure _ -> ()
+
+let suite =
+  [
+    ("crash-general fault-free sim=net", `Quick, test_crash_general_faultfree);
+    ("crash-general silent crash sim=net", `Quick, test_crash_general_silent_crash);
+    ("byz-2cycle silent attack sim=net", `Quick, test_byz_2cycle_silent);
+    ("net rejects At_time crash plans", `Quick, test_net_rejects_at_time_crash);
+  ]
