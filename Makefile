@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench bench-check bench-diff check check-smoke net-smoke clean
+.PHONY: all build test lint bench bench-check bench-diff check check-smoke soak net-smoke clean
 
 all: build
 
@@ -40,6 +40,13 @@ check:
 
 check-smoke:
 	dune build @check-smoke
+
+# Coverage-guided campaign soak (dr_check --campaign over every protocol,
+# bounded budget): fails on any violation and leaves the deterministic
+# campaign statistics in CHECK_CAMPAIGN.json next to the BENCH_*.json files.
+soak:
+	dune build @check-soak
+	cp _build/default/bin/check_campaign.json CHECK_CAMPAIGN.json
 
 # Socket-runtime smoke: run registry protocols as k real OS processes over
 # loopback (dr_download --transport net) and require the download to verify.

@@ -3,6 +3,7 @@
    Examples:
      dr_check --protocol byz-2cycle --budget 50000 --seed 7
      dr_check --all --budget 1000 --seed 1
+     dr_check --all --campaign --budget 2000 --stats stats.json --corpus corpus/
      dr_check --replay failure.repro.json
 
    Each protocol is checked against a budgeted DFS prefix of the schedule
@@ -11,6 +12,13 @@
    violation of the invariant oracle (agreement / termination / spec-bound)
    is minimized to a locally minimal counterexample and can be written out
    as a replayable .repro.json file.
+
+   --campaign switches to the coverage-guided driver: executions stream
+   hashed (phase x event x round-bucket) signatures into a coverage map,
+   schedules that light up new signatures seed a mutation corpus, and the
+   budget's tail is spent on mutants of interesting schedules instead of
+   uniform random sampling. --stats writes the deterministic campaign
+   statistics JSON, --corpus persists the corpus directory.
 
    Exit codes: 0 no violations (or repro reproduced), 1 violations found
    (or repro diverged/vanished), 2 usage error. *)
@@ -55,6 +63,30 @@ let out_arg =
     & info [ "out" ] ~docv:"DIR"
         ~doc:"Write each counterexample as DIR/<protocol>-<i>.repro.json.")
 
+let campaign_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "campaign" ]
+        ~doc:"Coverage-guided campaign instead of DFS+random fuzzing: keep a signature \
+              coverage map and a corpus of coverage-interesting schedules, and spend the \
+              budget's tail mutating them.")
+
+let corpus_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "corpus" ] ~docv:"DIR"
+        ~doc:"With --campaign: save each protocol's corpus under DIR/<protocol>/.")
+
+let stats_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats" ] ~docv:"FILE"
+        ~doc:"With --campaign: write the campaign statistics (schema dr-campaign/1, one \
+              object per protocol in a JSON array) to FILE.")
+
 let replay_arg =
   Arg.(
     value
@@ -80,6 +112,8 @@ let run_replay path =
   | repro ->
     Fmt.pr "replaying %a@." Repro.pp repro;
     (match Check.replay repro with
+    | exception (Registry.Unknown_attack _ as e) ->
+      `Error (false, Printexc.to_string e)
     | Check.Reproduced v ->
       Fmt.pr "reproduced: %a@." Dr_check.Invariant.pp_violation v;
       `Ok 0
@@ -120,10 +154,60 @@ let run_fuzz protocol budget dfs_budget seed max_failures out =
       `Ok 1
     end
 
-let run protocol _all budget dfs_budget seed max_failures out replay =
+let run_campaign protocol budget seed max_failures out corpus_dir stats =
+  let entries =
+    match protocol with
+    | None -> Ok Registry.all
+    | Some name -> (
+      try Ok [ Cli_args.resolve_protocol name ] with Failure msg -> Error msg)
+  in
+  match entries with
+  | Error msg -> `Error (false, msg)
+  | Ok entries ->
+    let total = ref 0 in
+    let stats_objs = ref [] in
+    List.iter
+      (fun entry ->
+        let target = Check.of_registry entry in
+        let c = Check.campaign ~max_failures ~budget ~seed:(Int64.to_int seed) target in
+        Fmt.pr "%a@." Check.pp_campaign c;
+        write_failures out target.Check.name c.Check.failures;
+        (match corpus_dir with
+        | Some dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          let sub = Filename.concat dir target.Check.name in
+          Dr_check.Corpus.save c.Check.corpus ~dir:sub;
+          Fmt.pr "  corpus: %s (%d entries)@." sub (Dr_check.Corpus.size c.Check.corpus)
+        | None -> ());
+        stats_objs := Check.campaign_stats_json c :: !stats_objs;
+        total := !total + List.length c.Check.failures)
+      entries;
+    (match stats with
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc "[\n";
+          output_string oc (String.concat ",\n" (List.rev_map String.trim !stats_objs));
+          output_string oc "\n]\n");
+      Fmt.pr "  stats: %s@." path
+    | None -> ());
+    if !total = 0 then begin
+      Fmt.pr "dr_check: no violations@.";
+      `Ok 0
+    end
+    else begin
+      Fmt.pr "dr_check: %d violation(s)@." !total;
+      `Ok 1
+    end
+
+let run protocol _all budget dfs_budget seed max_failures out replay campaign corpus stats =
   match replay with
   | Some path -> run_replay path
-  | None -> run_fuzz protocol budget dfs_budget seed max_failures out
+  | None ->
+    if campaign then run_campaign protocol budget seed max_failures out corpus stats
+    else run_fuzz protocol budget dfs_budget seed max_failures out
 
 let cmd =
   Cmd.v
@@ -132,7 +216,7 @@ let cmd =
     Term.(
       ret
         (const run $ protocol_arg $ all_arg $ budget_arg $ dfs_arg $ seed_arg $ max_failures_arg
-       $ out_arg $ replay_arg))
+       $ out_arg $ replay_arg $ campaign_arg $ corpus_arg $ stats_arg))
 
 let () =
   match Cmd.eval_value cmd with

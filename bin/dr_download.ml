@@ -100,6 +100,19 @@ let run protocol k n t model seed msg_bits latency crash attack segments trace_f
   else if n < k then `Error (false, "need n >= k")
   else begin
     let inst = Problem.random_instance ~seed ?b:msg_bits ~model ~k ~n ~t () in
+    (* Validate the attack name up front where the entry is known ("auto"
+       resolves later; its net path is caught below, its sim path takes no
+       attack), so a typo is a usage error, not a crash. *)
+    let attack_check =
+      if String.equal protocol "auto" then Ok ()
+      else
+        match Cli_args.resolve_protocol protocol with
+        | e -> Registry.validate_attack e attack
+        | exception Failure msg -> Error msg
+    in
+    match attack_check with
+    | Error msg -> `Error (false, msg)
+    | Ok () ->
     match transport with
     | `Net ->
       if trace_flag || matrix_flag || trace_out <> None then
@@ -107,11 +120,11 @@ let run protocol k n t model seed msg_bits latency crash attack segments trace_f
       else if explore <> None then
         `Error (false, "--explore drives the simulator's schedule arbiter; not available with --transport net")
       else begin
-        let report =
-          run_net ~protocol ~attack ~segments ~crash ~source ~timeout:net_timeout inst
-        in
-        Format.printf "%a@." Problem.pp_report report;
-        if report.Problem.ok then `Ok () else `Error (false, "download failed")
+        match run_net ~protocol ~attack ~segments ~crash ~source ~timeout:net_timeout inst with
+        | exception (Registry.Unknown_attack _ as e) -> `Error (false, Printexc.to_string e)
+        | report ->
+          Format.printf "%a@." Problem.pp_report report;
+          if report.Problem.ok then `Ok () else `Error (false, "download failed")
       end
     | `Sim ->
     let trace =

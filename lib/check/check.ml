@@ -14,6 +14,7 @@ type target = {
   spec : Spec.bounds option;
   pool : (int * int * int) list;
   run :
+    ?observer:(Sim.obs -> unit) ->
     attack:string ->
     crash:Crash_plan.t ->
     arbiter:Sim.arbiter ->
@@ -43,8 +44,8 @@ let of_registry ?pool entry =
     spec = Some entry.Registry.spec;
     pool;
     run =
-      (fun ~attack ~crash ~arbiter inst ->
-        let opts = Exec.make_opts ~crash ~arbiter () in
+      (fun ?observer ~attack ~crash ~arbiter inst ->
+        let opts = Exec.make_opts ?observer ~crash ~arbiter () in
         entry.Registry.run ~opts ~attack inst);
   }
 
@@ -67,11 +68,11 @@ let instance_of target (s : Repro.scenario) =
   Problem.random_instance ~seed:s.Repro.seed ~model:target.model ~k:s.Repro.k ~n:s.Repro.n
     ~t:s.Repro.t ()
 
-let run_scenario target (s : Repro.scenario) ~arbiter =
+let run_scenario ?observer target (s : Repro.scenario) ~arbiter =
   let inst = instance_of target s in
   let recording, recorded = Explore.record arbiter in
   let crash = Crash_plan.apply s.Repro.crash inst.Problem.fault in
-  let report = target.run ~attack:s.Repro.attack ~crash ~arbiter:recording inst in
+  let report = target.run ?observer ~attack:s.Repro.attack ~crash ~arbiter:recording inst in
   let script = recorded () in
   let violation =
     Invariant.check ?spec:target.spec ~inst ~events:(List.length script) report
@@ -178,13 +179,12 @@ let crash_descriptors =
 
 let pick prng l = List.nth l (Prng.int prng (List.length l))
 
-let fuzz ?dfs_budget ?(max_failures = 5) ~budget ~seed target =
-  if target.pool = [] then
-    failwith (Printf.sprintf "Check.fuzz: %s has no admissible small instance" target.name);
-  let dfs_budget = match dfs_budget with Some d -> min d budget | None -> budget / 4 in
+(* Shared by [fuzz] and [campaign]: dedup by (invariant, scenario), shrink on
+   admission, stop collecting past [max_failures]. *)
+let failure_collector target ~max_failures =
   let failures = ref [] in
   let seen = ref [] in
-  let note_failure (s : Repro.scenario) (c : checked) =
+  let note (s : Repro.scenario) (c : checked) =
     match c.violation with
     | None -> ()
     | Some v ->
@@ -194,6 +194,13 @@ let fuzz ?dfs_budget ?(max_failures = 5) ~budget ~seed target =
         failures := shrink target s v ~script:c.script :: !failures
       end
   in
+  (note, fun () -> List.rev !failures)
+
+let fuzz ?dfs_budget ?(max_failures = 5) ~budget ~seed target =
+  if target.pool = [] then
+    failwith (Printf.sprintf "Check.fuzz: %s has no admissible small instance" target.name);
+  let dfs_budget = match dfs_budget with Some d -> min d budget | None -> budget / 4 in
+  let note_failure, collected = failure_collector target ~max_failures in
   (* Phase 1: systematic DFS prefix on one fixed scenario — the first pool
      entry with faults (faults exercise the interesting schedules), default
      attack, the mildest interesting crash plan. *)
@@ -256,7 +263,7 @@ let fuzz ?dfs_budget ?(max_failures = 5) ~budget ~seed target =
     runs = dfs_runs + random_runs;
     dfs_runs;
     dfs_exhausted;
-    failures = List.rev !failures;
+    failures = collected ();
   }
 
 let pp_outcome ppf o =
@@ -265,3 +272,133 @@ let pp_outcome ppf o =
     (List.length o.failures)
     (if List.length o.failures = 1 then "" else "s");
   List.iter (fun r -> Format.fprintf ppf "@.  %a" Repro.pp r) o.failures
+
+(* ------------------------------------------------------------------ *)
+(* The coverage-guided campaign                                        *)
+(* ------------------------------------------------------------------ *)
+
+type campaign = {
+  target_name : string;
+  budget : int;
+  seed : int;
+  executed : int;
+  seed_runs : int;
+  mutated_runs : int;
+  new_coverage_runs : int;
+  coverage : Coverage.t;
+  corpus : Corpus.t;
+  failures : Repro.t list;
+}
+
+let campaign ?(max_failures = 5) ?bucket ~budget ~seed target =
+  if target.pool = [] then
+    failwith (Printf.sprintf "Check.campaign: %s has no admissible small instance" target.name);
+  let coverage = Coverage.create () in
+  let corpus = Corpus.create () in
+  let note_failure, collected = failure_collector target ~max_failures in
+  let prng = Prng.create (Int64.of_int (seed + 0xc0de)) in
+  let executed = ref 0 in
+  let new_coverage_runs = ref 0 in
+  (* One observed execution: probe the engine, fold the run's distinct
+     signatures into the map, admit coverage-fresh scripts to the corpus,
+     hand any violation to the collector. *)
+  let observe scenario ~arbiter =
+    let p = Explore.probe ?bucket () in
+    let c = run_scenario ~observer:p.Explore.observer target scenario ~arbiter in
+    incr executed;
+    let fresh = Coverage.note coverage (p.Explore.hits ()) in
+    if fresh > 0 then incr new_coverage_runs;
+    if fresh > 0 || Corpus.size corpus = 0 then
+      Corpus.add corpus { Corpus.scenario; script = c.script; new_signatures = fresh };
+    note_failure scenario c
+  in
+  let fresh_seed () = Int64.of_int (1 + Prng.int prng 1_000_000) in
+  let fresh_arbiter () = Explore.random (Prng.create (fresh_seed ())) in
+  (* Phase 1: seed the corpus round-robin over pool × attack × crash, pool
+     varying fastest (a mixed-radix counter with the pool as the least
+     significant digit): instance shapes — the dominant coverage axis — are
+     all visited before the attack catalog starts cycling, so even a small
+     seed budget populates the corpus across every (k, n, t). *)
+  let np = List.length target.pool in
+  let na = List.length target.attacks in
+  let nc = List.length crash_descriptors in
+  let seed_runs = max 1 (budget / 4) in
+  for i = 0 to seed_runs - 1 do
+    let k, n, t = List.nth target.pool (i mod np) in
+    let attack = List.nth target.attacks (i / np mod na) in
+    let crash = List.nth crash_descriptors (i / (np * na) mod nc) in
+    let scenario =
+      { Repro.protocol = target.name; attack; k; n; t; seed = fresh_seed (); crash }
+    in
+    observe scenario ~arbiter:(fresh_arbiter ())
+  done;
+  (* Phase 2: mutate coverage-interesting entries for the rest of the
+     budget — replay the mutated prefix exactly, improvise the suffix. *)
+  let mutated_runs = max 0 (budget - seed_runs) in
+  for _ = 1 to mutated_runs do
+    match Corpus.pick prng corpus with
+    | None -> ()
+    | Some base ->
+      let donor = Corpus.pick prng corpus in
+      let scenario, prefix =
+        Mutate.mutate ~prng ~attacks:target.attacks ~crashes:crash_descriptors ~donor base
+      in
+      observe scenario
+        ~arbiter:(Explore.scripted_then_random prefix (Prng.create (fresh_seed ())))
+  done;
+  {
+    target_name = target.name;
+    budget;
+    seed;
+    executed = !executed;
+    seed_runs;
+    mutated_runs;
+    new_coverage_runs = !new_coverage_runs;
+    coverage;
+    corpus;
+    failures = collected ();
+  }
+
+let campaign_stats_json c =
+  let module Json = Dr_stats.Bench_io.Json in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"dr-campaign/1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"target\": \"%s\",\n" (Json.escape c.target_name));
+  Buffer.add_string b
+    (Printf.sprintf "  \"budget\": %d, \"seed\": %d, \"executed\": %d,\n" c.budget c.seed
+       c.executed);
+  Buffer.add_string b
+    (Printf.sprintf "  \"seed_runs\": %d, \"mutated_runs\": %d, \"new_coverage_runs\": %d,\n"
+       c.seed_runs c.mutated_runs c.new_coverage_runs);
+  Buffer.add_string b
+    (Printf.sprintf "  \"distinct_signatures\": %d, \"coverage_hits\": %d,\n"
+       (Coverage.distinct c.coverage) (Coverage.hits c.coverage));
+  Buffer.add_string b (Printf.sprintf "  \"corpus_size\": %d,\n" (Corpus.size c.corpus));
+  Buffer.add_string b "  \"violations\": [";
+  List.iteri
+    (fun i (r : Repro.t) ->
+      if i > 0 then Buffer.add_string b ",";
+      let s = r.Repro.scenario in
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n    { \"invariant\": \"%s\", \"attack\": \"%s\", \"k\": %d, \"n\": %d, \"t\": \
+            %d, \"crash\": \"%s\", \"event\": %d }"
+           (Json.escape r.Repro.invariant) (Json.escape s.Repro.attack) s.Repro.k s.Repro.n
+           s.Repro.t
+           (Crash_plan.descriptor_to_string s.Repro.crash)
+           r.Repro.event))
+    c.failures;
+  if c.failures <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "]\n}\n";
+  Buffer.contents b
+
+let pp_campaign ppf c =
+  Format.fprintf ppf
+    "%s: %d runs (%d seed + %d mutated), %d signatures (%d runs hit new coverage), corpus %d, \
+     %d violation%s"
+    c.target_name c.executed c.seed_runs c.mutated_runs
+    (Coverage.distinct c.coverage)
+    c.new_coverage_runs (Corpus.size c.corpus) (List.length c.failures)
+    (if List.length c.failures = 1 then "" else "s");
+  List.iter (fun r -> Format.fprintf ppf "@.  %a" Repro.pp r) c.failures

@@ -30,11 +30,15 @@ type target = {
           must be small — under an arbiter the simulator's event pool is a
           list, and every schedule re-executes the protocol *)
   run :
+    ?observer:(Dr_engine.Sim.obs -> unit) ->
     attack:string ->
     crash:Dr_adversary.Crash_plan.t ->
     arbiter:Dr_engine.Sim.arbiter ->
     Dr_core.Problem.instance ->
     Dr_core.Problem.report;
+      (** [observer] streams one {!Dr_engine.Sim.obs} per fired event — the
+          campaign's coverage probe. Targets that ignore it still check, but
+          contribute no coverage. *)
 }
 
 val of_registry : ?pool:(int * int * int) list -> Dr_core.Registry.entry -> target
@@ -52,10 +56,16 @@ type checked = {
   violation : Invariant.violation option;
 }
 
-val run_scenario : target -> Repro.scenario -> arbiter:Dr_engine.Sim.arbiter -> checked
+val run_scenario :
+  ?observer:(Dr_engine.Sim.obs -> unit) ->
+  target ->
+  Repro.scenario ->
+  arbiter:Dr_engine.Sim.arbiter ->
+  checked
 (** Build the instance from the scenario, run under the given arbiter with
     the scenario's crash plan applied to the instance's faulty set, record
-    the schedule and consult the {!Invariant} oracle. *)
+    the schedule and consult the {!Invariant} oracle. [observer] is passed
+    through to the target (coverage probing). *)
 
 val shrink : target -> Repro.scenario -> Invariant.violation -> script:int list -> Repro.t
 (** Minimize a failing run: first the crash plan (drop it, then lower its
@@ -94,3 +104,40 @@ val fuzz :
     shrunk counterexamples. Deterministic given [seed]. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+(** {2 The coverage-guided campaign}
+
+    [dr_check --campaign]'s driver: instead of [fuzz]'s fixed DFS + uniform
+    random split, the campaign keeps a {!Coverage} map of hashed execution
+    signatures and a {!Corpus} of the scripts that lit up new ones, and
+    spends most of its budget mutating those ({!Mutate}) — replaying each
+    mutant's script prefix exactly and improvising the suffix. Violations
+    are shrunk and deduplicated exactly as in [fuzz]. Deterministic given
+    [seed]: coverage map, corpus and failure list are all byte-reproducible. *)
+
+type campaign = {
+  target_name : string;
+  budget : int;  (** requested executions *)
+  seed : int;
+  executed : int;  (** executions actually performed *)
+  seed_runs : int;  (** phase-1 runs (round-robin pool × attack × crash) *)
+  mutated_runs : int;  (** phase-2 runs (corpus mutants) *)
+  new_coverage_runs : int;  (** runs that lit at least one new signature *)
+  coverage : Coverage.t;
+  corpus : Corpus.t;
+  failures : Repro.t list;  (** shrunk, deduplicated by (invariant, scenario) *)
+}
+
+val campaign : ?max_failures:int -> ?bucket:int -> budget:int -> seed:int -> target -> campaign
+(** [campaign ~budget ~seed target] spends [max 1 (budget / 4)] executions
+    seeding the corpus (round-robin over every pool × attack × crash-plan
+    combination) and the rest mutating it. [bucket] is the signature
+    round-bucket width (see {!Dr_engine.Explore.signature}); [max_failures]
+    (default 5) caps collected counterexamples. *)
+
+val campaign_stats_json : campaign -> string
+(** Schema ["dr-campaign/1"]: run counts, coverage totals, corpus size and
+    one summary object per shrunk violation. Deterministic given the
+    campaign (no timestamps, no host state) — suitable as a golden. *)
+
+val pp_campaign : Format.formatter -> campaign -> unit

@@ -1,0 +1,36 @@
+(** The coverage map behind [dr_check --campaign].
+
+    Keys are the 30-bit signatures of {!Dr_engine.Explore.signature}
+    (protocol-phase × event-type × round-bucket); values count how many runs
+    lit the signature ({!note} is fed each run's {e distinct} hits, so a
+    count of 3 means three executions reached that region, not three raw
+    events). Deterministic: every read-out is sorted by [Int.compare], so
+    same runs ⇒ byte-identical {!to_json}. *)
+
+type t
+
+val create : unit -> t
+
+val note : t -> int list -> int
+(** [note t hits] folds one run's distinct signatures into the map and
+    returns how many were {e new} — the campaign's corpus-admission
+    criterion. *)
+
+val distinct : t -> int
+(** Distinct signatures seen. *)
+
+val hits : t -> int
+(** Total run-hits across all signatures. *)
+
+val signatures : t -> int list
+(** Sorted ascending. *)
+
+val merge : into:t -> t -> unit
+(** Add every binding of the second map into [into]. *)
+
+val equal : t -> t -> bool
+(** Same signatures with the same counts. *)
+
+val to_json : t -> string
+(** Schema ["dr-coverage/1"]: counts plus the sorted [[signature, count]]
+    map. Byte-deterministic for a given map. *)

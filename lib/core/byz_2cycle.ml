@@ -1,6 +1,7 @@
 module Bitarray = Dr_source.Bitarray
 module Segment = Dr_source.Segment
 module Fault = Dr_adversary.Fault
+module Adaptive = Dr_adversary.Adaptive
 module Prng = Dr_engine.Prng
 
 type payload = { seg : int; bits : Bitarray.t }
@@ -20,7 +21,14 @@ let supports inst =
     Error "byz-2cycle needs k - 2t >= 1 (beta < 1/2)"
   else Ok ()
 
-type attack = Silent | Near_miss | Consistent_lie | Equivocate | Flood of int | Mirror
+type attack =
+  | Silent
+  | Near_miss
+  | Consistent_lie
+  | Equivocate
+  | Flood of int
+  | Adaptive of Adaptive.plan
+  | Mirror
 
 let plan ~k ~n ~t =
   let h = max 1 (k - (2 * t)) in
@@ -116,6 +124,21 @@ module Process (T : Transport.S with type msg = Msg.t) = struct
         let variant = rank mod groups in
         let len = Bitarray.length bits in
         T.broadcast { seg = 0; bits = Bitarray.flip bits (variant mod len) }
+      | Adaptive plan ->
+        (* Corrupt observed traffic: wait for whatever report the schedule
+           delivers first, flip a rank-dependent bit of it, and echo per the
+           plan. If nobody ever sends (everyone faulty and silent) the peer
+           just blocks — faulty peers may do that. *)
+        let _src, { seg; bits } = T.receive () in
+        let forged =
+          Bitarray.flip bits (Adaptive.corrupt_index ~rank ~len:(Bitarray.length bits))
+        in
+        (match plan with
+        | Adaptive.Echo_corrupt -> T.broadcast { seg; bits = forged }
+        | Adaptive.Split_brain ->
+          List.iter
+            (fun dst -> T.send dst { seg; bits = forged })
+            (Adaptive.split_targets ~k ~me:i))
       | Mirror -> assert false (* dispatched to the honest path *));
       T.die ()
     in

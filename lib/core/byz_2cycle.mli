@@ -36,6 +36,12 @@ type attack =
           distinct forgery of segment 0 — each forgery becomes ρ-frequent
           (for ρ ≤ t/g) and the segment-0 decision tree pays [g] extra
           queries: the worst case of the query analysis *)
+  | Adaptive of Dr_adversary.Adaptive.plan
+      (** choose the corruption online from observed traffic: receive first,
+          then echo the observed report with one bit flipped — to everyone
+          ({!Dr_adversary.Adaptive.Echo_corrupt}, registry name
+          ["adaptive"]) or to only half the peers
+          ({!Dr_adversary.Adaptive.Split_brain}, ["splitcast"]) *)
   | Mirror
       (** faulty peers execute the honest protocol faithfully; the deviation
           comes entirely from the simulated source the lower-bound adversary

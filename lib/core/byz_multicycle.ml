@@ -1,6 +1,7 @@
 module Bitarray = Dr_source.Bitarray
 module Segment = Dr_source.Segment
 module Fault = Dr_adversary.Fault
+module Adaptive = Dr_adversary.Adaptive
 module Prng = Dr_engine.Prng
 
 type payload = { cycle : int; seg : int; bits : Bitarray.t }
@@ -20,7 +21,13 @@ let supports inst =
     Error "byz-multicycle needs k - 2t >= 1 (beta < 1/2)"
   else Ok ()
 
-type attack = Silent | Near_miss | Consistent_lie | Equivocate | Flood of int
+type attack =
+  | Silent
+  | Near_miss
+  | Consistent_lie
+  | Equivocate
+  | Flood of int
+  | Adaptive of Adaptive.plan
 
 let floor_pow2 v =
   let rec go p = if p * 2 > v then p else go (p * 2) in
@@ -157,6 +164,22 @@ module Process (T : Transport.S with type msg = Msg.t) = struct
           let bits = query_segment spec 0 in
           let variant = rank mod groups in
           T.broadcast { cycle = r; seg = 0; bits = Bitarray.flip bits (variant mod Bitarray.length bits) }
+        done
+      | Adaptive plan ->
+        (* One corrupted echo per cycle, each shaped by whatever report the
+           schedule delivers next — the forged cycle/segment follows the
+           observed traffic instead of a pre-run script. *)
+        for _r = 1 to cycles do
+          let _src, { cycle; seg; bits } = T.receive () in
+          let forged =
+            Bitarray.flip bits (Adaptive.corrupt_index ~rank ~len:(Bitarray.length bits))
+          in
+          match plan with
+          | Adaptive.Echo_corrupt -> T.broadcast { cycle; seg; bits = forged }
+          | Adaptive.Split_brain ->
+            List.iter
+              (fun dst -> T.send dst { cycle; seg; bits = forged })
+              (Adaptive.split_targets ~k ~me:i)
         done);
       T.die ()
     in

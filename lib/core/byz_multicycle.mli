@@ -18,7 +18,15 @@
 
 include Exec.PROTOCOL
 
-type attack = Silent | Near_miss | Consistent_lie | Equivocate | Flood of int
+type attack =
+  | Silent
+  | Near_miss
+  | Consistent_lie
+  | Equivocate
+  | Flood of int
+  | Adaptive of Dr_adversary.Adaptive.plan
+      (** receive first, then echo the observed report (same cycle and
+          segment) with one bit flipped — see {!Dr_adversary.Adaptive} *)
 (** Same attack catalog as {!Byz_2cycle}, applied in every cycle. *)
 
 val run_with :

@@ -10,12 +10,13 @@ type opts = {
   max_events : int;
   query_override : (peer:int -> int -> bool) option;
   arbiter : Dr_engine.Sim.arbiter option;
+  observer : (Dr_engine.Sim.obs -> unit) option;
 }
 
 let make_opts ?(latency = Dr_adversary.Latency.unit_delay) ?(link_rate = infinity)
     ?(crash = Dr_adversary.Crash_plan.none) ?(query_latency = 0.)
     ?(start_time = fun _ -> 0.) ?trace ?(max_events = 200_000_000) ?query_override
-    ?arbiter () =
+    ?arbiter ?observer () =
   {
     latency;
     link_rate;
@@ -26,6 +27,7 @@ let make_opts ?(latency = Dr_adversary.Latency.unit_delay) ?(link_rate = infinit
     max_events;
     query_override;
     arbiter;
+    observer;
   }
 
 let default = make_opts ()
@@ -35,6 +37,7 @@ let with_link_rate link_rate opts = { opts with link_rate }
 let with_crash crash opts = { opts with crash }
 let with_trace trace opts = { opts with trace = Some trace }
 let with_arbiter arbiter opts = { opts with arbiter = Some arbiter }
+let with_observer observer opts = { opts with observer = Some observer }
 let without_trace opts = { opts with trace = None }
 
 let build_config inst opts =
@@ -55,6 +58,7 @@ let build_config inst opts =
     trace = opts.trace;
     max_events = opts.max_events;
     arbiter = opts.arbiter;
+    observer = opts.observer;
   }
 
 let finish ~protocol inst (outcome : Bitarray.t Dr_engine.Sim.outcome) =

@@ -20,6 +20,9 @@ type opts = private {
   arbiter : Dr_engine.Sim.arbiter option;
       (** schedule arbiter for systematic exploration (see
           {!Dr_engine.Explore}); overrides latency-based ordering *)
+  observer : (Dr_engine.Sim.obs -> unit) option;
+      (** per-event observation sink — the coverage-guided checker's
+          sampling hook (see {!Dr_engine.Explore.probe}) *)
 }
 (** The record is [private]: read fields freely, but construct values only
     through {!make_opts} and the [with_*] combinators, so adding a field
@@ -35,6 +38,7 @@ val make_opts :
   ?max_events:int ->
   ?query_override:(peer:int -> int -> bool) ->
   ?arbiter:Dr_engine.Sim.arbiter ->
+  ?observer:(Dr_engine.Sim.obs -> unit) ->
   unit ->
   opts
 (** Labelled constructor; every omitted field takes the [default] value
@@ -51,6 +55,7 @@ val with_link_rate : float -> opts -> opts
 val with_crash : Dr_adversary.Crash_plan.t -> opts -> opts
 val with_trace : Dr_engine.Trace.t -> opts -> opts
 val with_arbiter : Dr_engine.Sim.arbiter -> opts -> opts
+val with_observer : (Dr_engine.Sim.obs -> unit) -> opts -> opts
 
 val without_trace : opts -> opts
 (** Drop the trace sink (an exploration run re-executes thousands of

@@ -19,15 +19,35 @@ type entry = {
     (module Transport.CORE);
 }
 
+exception Unknown_attack of { protocol : string; attack : string; known : string list }
+
+let attack_error ~protocol ~attack ~known =
+  Printf.sprintf "unknown attack %S for %s (known: %s)" attack protocol
+    (String.concat ", " known)
+
+let () =
+  Printexc.register_printer (function
+    | Unknown_attack { protocol; attack; known } ->
+      Some (attack_error ~protocol ~attack ~known)
+    | _ -> None)
+
+let committee_attacks = [ "equivocate"; "silent"; "flip"; "collude" ]
+let cycle_attacks = [ "nearmiss"; "silent"; "lie"; "equivocate"; "flood"; "adaptive"; "splitcast" ]
+
+let unknown ~protocol ~known attack =
+  raise (Unknown_attack { protocol; attack; known = "default" :: known })
+
 (* One parser per Byzantine attack vocabulary, shared by [run] (simulator
    convenience runner) and [core] (transport-generic constructor) so the two
-   can never drift. *)
+   can never drift. An out-of-catalog name raises {!Unknown_attack} — a
+   structured error the CLIs turn into a clean usage message — never a bare
+   [Failure]. *)
 let committee_attack = function
   | "default" | "equivocate" -> Committee.Equivocate
   | "silent" -> Committee.Honest_but_silent
   | "flip" -> Committee.Flip
   | "collude" -> Committee.Collude
-  | other -> failwith ("unknown committee attack: " ^ other)
+  | other -> unknown ~protocol:"byz-committee" ~known:committee_attacks other
 
 let byz_2cycle_attack ~t = function
   | "default" | "nearmiss" -> Byz_2cycle.Near_miss
@@ -35,7 +55,9 @@ let byz_2cycle_attack ~t = function
   | "lie" -> Byz_2cycle.Consistent_lie
   | "equivocate" -> Byz_2cycle.Equivocate
   | "flood" -> Byz_2cycle.Flood (max 1 t)
-  | other -> failwith ("unknown 2cycle attack: " ^ other)
+  | "adaptive" -> Byz_2cycle.Adaptive Dr_adversary.Adaptive.Echo_corrupt
+  | "splitcast" -> Byz_2cycle.Adaptive Dr_adversary.Adaptive.Split_brain
+  | other -> unknown ~protocol:"byz-2cycle" ~known:cycle_attacks other
 
 let byz_multicycle_attack ~t = function
   | "default" | "nearmiss" -> Byz_multicycle.Near_miss
@@ -43,7 +65,9 @@ let byz_multicycle_attack ~t = function
   | "lie" -> Byz_multicycle.Consistent_lie
   | "equivocate" -> Byz_multicycle.Equivocate
   | "flood" -> Byz_multicycle.Flood (max 1 t)
-  | other -> failwith ("unknown multicycle attack: " ^ other)
+  | "adaptive" -> Byz_multicycle.Adaptive Dr_adversary.Adaptive.Echo_corrupt
+  | "splitcast" -> Byz_multicycle.Adaptive Dr_adversary.Adaptive.Split_brain
+  | other -> unknown ~protocol:"byz-multicycle" ~known:cycle_attacks other
 
 (* Protocols without an attack surface accept (and ignore) any attack name,
    matching the CLI's historical behavior of only routing --attack to the
@@ -65,7 +89,7 @@ let committee_entry =
     model = Problem.Byzantine;
     beta_sup = 0.5;
     spec = Spec.committee;
-    attacks = [ "equivocate"; "silent"; "flip"; "collude" ];
+    attacks = committee_attacks;
     run =
       (fun ?opts ?(attack = "default") ?segments:_ ?rho:_ inst ->
         Committee.run_with ?opts ~attack:(committee_attack attack) inst);
@@ -80,7 +104,7 @@ let byz_2cycle_entry =
     model = Problem.Byzantine;
     beta_sup = 0.5;
     spec = Spec.byz_2cycle;
-    attacks = [ "nearmiss"; "silent"; "lie"; "equivocate"; "flood" ];
+    attacks = cycle_attacks;
     run =
       (fun ?opts ?(attack = "default") ?segments ?rho inst ->
         let attack = byz_2cycle_attack ~t:(Problem.t inst) attack in
@@ -97,7 +121,7 @@ let byz_multicycle_entry =
     model = Problem.Byzantine;
     beta_sup = 0.5;
     spec = Spec.byz_multicycle;
-    attacks = [ "nearmiss"; "silent"; "lie"; "equivocate"; "flood" ];
+    attacks = cycle_attacks;
     run =
       (fun ?opts ?(attack = "default") ?segments ?rho inst ->
         let attack = byz_multicycle_attack ~t:(Problem.t inst) attack in
@@ -134,6 +158,13 @@ let attacks e = e.attacks
 let find n = List.find_opt (fun e -> name e = n) all
 let find_exn n =
   match find n with Some e -> e | None -> failwith ("unknown protocol: " ^ n)
+
+let validate_attack e attack =
+  match e.attacks with
+  | [ "default" ] -> Ok () (* no attack surface: any name is accepted and ignored *)
+  | known ->
+    if String.equal attack "default" || List.exists (String.equal attack) known then Ok ()
+    else Error (attack_error ~protocol:(name e) ~attack ~known:("default" :: known))
 
 let admits e inst =
   let (module P : Exec.PROTOCOL) = e.proto in

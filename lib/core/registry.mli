@@ -34,9 +34,11 @@ type entry = {
     Problem.report;
       (** run the protocol; [attack] is the CLI attack name ("default",
           "silent", "flip", "equivocate", "collude", "nearmiss", "lie",
-          "flood") — protocols without an attack surface ignore it, the
-          Byzantine ones raise [Failure] on a name outside their catalog.
-          [segments] and [rho] apply to the randomized protocols only. *)
+          "flood", "adaptive", "splitcast") — protocols without an attack
+          surface ignore it, the Byzantine ones raise {!Unknown_attack} on a
+          name outside their catalog (validate first with {!validate_attack}
+          for a [result]). [segments] and [rho] apply to the randomized
+          protocols only. *)
   core :
     ?attack:string ->
     ?segments:int ->
@@ -51,6 +53,20 @@ type entry = {
           transport-agnostic drivers ([dr_download --transport net], the
           conformance tests) use. *)
 }
+
+exception
+  Unknown_attack of { protocol : string; attack : string; known : string list }
+(** Raised by the attack parsers (so by [run] / [core]) on a name outside the
+    entry's catalog. [known] includes ["default"]. A printer is registered, so
+    [Printexc.to_string] yields the same one-line message the CLIs print. *)
+
+val validate_attack : entry -> string -> (unit, string) result
+(** [validate_attack e a] is [Ok ()] iff [e.run ~attack:a] will not raise
+    {!Unknown_attack}: entries without an attack surface (catalog
+    [["default"]]) accept — and ignore — any name; the Byzantine entries
+    accept ["default"] plus their catalog. The [Error] carries the same
+    message the exception prints. CLIs call this up front to turn a typo into
+    a clean usage error instead of a crash. *)
 
 val all : entry list
 (** Every protocol, baselines included, in presentation order. *)

@@ -57,6 +57,55 @@ let record arbiter =
 
 let random prng count = Prng.int prng count
 
+let scripted_then_random script prng =
+  let remaining = ref script in
+  fun count ->
+    match !remaining with
+    | c :: tl ->
+      remaining := tl;
+      if c < count then c else count - 1
+    | [] -> Prng.int prng count
+
+(* ------------------------------------------------------------------ *)
+(* Coverage signatures                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* FNV-1a, written out so signatures never depend on Hashtbl.hash's
+   representation-sensitive behavior: byte-exact across runs and builds. *)
+let fnv_prime = 0x100000001b3L
+let fnv_basis = 0xcbf29ce484222325L
+
+let signature ?(bucket = 8) (o : Sim.obs) =
+  let h = ref fnv_basis in
+  let mix byte = h := Int64.mul (Int64.logxor !h (Int64.of_int (byte land 0xff))) fnv_prime in
+  mix
+    (match o.Sim.obs_kind with
+    | Sim.Obs_start -> 1
+    | Sim.Obs_deliver -> 2
+    | Sim.Obs_crash -> 3
+    | Sim.Obs_query_reply -> 4
+    | Sim.Obs_wake -> 5);
+  String.iter (fun c -> mix (Char.code c)) o.Sim.obs_tag;
+  let b = o.Sim.obs_step / max bucket 1 in
+  mix (b land 0xff);
+  mix ((b lsr 8) land 0xff);
+  mix ((b lsr 16) land 0xff);
+  Int64.to_int !h land 0x3FFFFFFF
+
+type probe = { observer : Sim.obs -> unit; hits : unit -> int list }
+
+let probe ?bucket () =
+  let seen = Hashtbl.create 64 in
+  let order = ref [] in
+  let observer o =
+    let s = signature ?bucket o in
+    if not (Hashtbl.mem seen s) then begin
+      Hashtbl.add seen s ();
+      order := s :: !order
+    end
+  in
+  { observer; hits = (fun () -> List.rev !order) }
+
 let dfs ~budget ~run =
   (* The DFS frontier is a choice script: replay it, extend with zeros, and
      record (choice, alternatives) per step; backtracking increments the

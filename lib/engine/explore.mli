@@ -62,3 +62,33 @@ val record : Sim.arbiter -> Sim.arbiter * (unit -> int list)
 
 val random : Prng.t -> Sim.arbiter
 (** A uniformly random arbiter — schedule fuzzing beyond the DFS prefix. *)
+
+val scripted_then_random : int list -> Prng.t -> Sim.arbiter
+(** Follow the choice script, then continue with uniformly random choices —
+    the coverage campaign's mutation arbiter: replay an interesting corpus
+    prefix exactly, explore a fresh suffix. (Contrast {!scripted}, which
+    pads with 0 and is meant for exact replay.) *)
+
+(** {2 Coverage observation}
+
+    The coverage-guided checker ({!Dr_check.Coverage}) keys its map on
+    hashed signatures of the events an execution fires. The engine streams
+    one {!Sim.obs} per event through [config.observer]; {!signature}
+    collapses it to a stable 30-bit key and {!probe} collects the distinct
+    keys of one run. *)
+
+val signature : ?bucket:int -> Sim.obs -> int
+(** Deterministic 30-bit signature of (protocol-phase × event-type ×
+    round-bucket): the event kind, the message tag (the protocol's own phase
+    label, e.g. ["seg(c2,0)"]) and the event index divided by [bucket]
+    (default 8) are FNV-1a-hashed together. Independent of wall clock, peer
+    count and Hashtbl seeding, so two runs firing the same schedule produce
+    the same signatures byte-for-byte. *)
+
+type probe = {
+  observer : Sim.obs -> unit;  (** plug into [config.observer] (via [Exec.make_opts ~observer]) *)
+  hits : unit -> int list;  (** distinct signatures so far, in first-hit order *)
+}
+
+val probe : ?bucket:int -> unit -> probe
+(** A fresh single-run signature collector. *)

@@ -14,6 +14,10 @@ type status = Completed | Deadlock of int list | Event_limit_reached
 
 type arbiter = int -> int
 
+type obs_kind = Obs_start | Obs_deliver | Obs_crash | Obs_query_reply | Obs_wake
+
+type obs = { obs_kind : obs_kind; obs_peer : int; obs_tag : string; obs_step : int }
+
 type config = {
   k : int;
   seed : int64;
@@ -26,6 +30,7 @@ type config = {
   trace : Trace.t option;
   max_events : int;
   arbiter : arbiter option;
+  observer : (obs -> unit) option;
 }
 
 let default_config ~k ~query_bit =
@@ -41,6 +46,7 @@ let default_config ~k ~query_bit =
     trace = None;
     max_events = 200_000_000;
     arbiter = None;
+    observer = None;
   }
 
 type 'r outcome = {
@@ -292,6 +298,24 @@ module Make (M : MESSAGE) = struct
         | Never | After_sends _ | After_queries _ -> ())
       peers;
     let status = ref Completed in
+    (* Coverage observation must cost nothing when off, exactly like the
+       trace guard: one boolean test per event, tags rendered only when a
+       sink is installed. *)
+    let obs_on = cfg.observer <> None in
+    let notify ev =
+      match cfg.observer with
+      | None -> ()
+      | Some f ->
+        let obs_kind, obs_peer, obs_tag =
+          match ev with
+          | Ev_start i -> (Obs_start, i, "")
+          | Ev_deliver { dst; msg; _ } -> (Obs_deliver, dst, M.tag msg)
+          | Ev_crash i -> (Obs_crash, i, "")
+          | Ev_query_reply { peer; _ } -> (Obs_query_reply, peer, "")
+          | Ev_wake i -> (Obs_wake, i, "")
+        in
+        f { obs_kind; obs_peer; obs_tag; obs_step = !events_done - 1 }
+    in
     let handle = function
       | Ev_start i ->
         let p = Array.unsafe_get peers i in
@@ -350,6 +374,7 @@ module Make (M : MESSAGE) = struct
           clock.(0) <- Heap.min_time heap;
           let ev = Heap.pop_min heap in
           incr events_done;
+          if obs_on then notify ev;
           handle ev;
           loop ()
         end
@@ -387,6 +412,7 @@ module Make (M : MESSAGE) = struct
           | Some ev ->
             clock.(0) <- clock.(0) +. 1.;
             incr events_done;
+            if obs_on then notify ev;
             handle ev;
             loop ()
       in

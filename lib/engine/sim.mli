@@ -56,6 +56,22 @@ type arbiter = int -> int
     ([At_time]) are not meaningful under an arbiter; use [After_sends] /
     [After_queries]. See {!Explore}. *)
 
+type obs_kind = Obs_start | Obs_deliver | Obs_crash | Obs_query_reply | Obs_wake
+(** The category of a fired event, as seen by an observer. *)
+
+type obs = {
+  obs_kind : obs_kind;
+  obs_peer : int;  (** the peer the event applies to (destination for delivers) *)
+  obs_tag : string;
+      (** the message's {!MESSAGE.tag} for delivers — the protocol-phase
+          label ("seg(3)", "seg(c2,0)", …) — and [""] otherwise *)
+  obs_step : int;  (** 0-based index of the event within the execution *)
+}
+(** One observation per processed event. Unlike {!Trace}, observations are
+    streamed (never stored by the engine) and carry no wall-clock data, so a
+    coverage sink hashing them stays deterministic under replay. See
+    {!Explore.signature}. *)
+
 type config = {
   k : int;  (** number of peers *)
   seed : int64;
@@ -75,6 +91,10 @@ type config = {
   trace : Trace.t option;
   max_events : int;
   arbiter : arbiter option;
+  observer : (obs -> unit) option;
+      (** called once per processed event, before the event's effects run —
+          the coverage-guided checker's sampling hook. [None] (default) costs
+          one branch per event. *)
 }
 
 val default_config : k:int -> query_bit:(peer:int -> int -> bool) -> config

@@ -1,0 +1,22 @@
+A clean protocol under the coverage campaign exits 0 and writes stats:
+
+  $ dr_check --protocol balanced --campaign --budget 40 --seed 1 --stats stats.json
+  balanced: 40 runs (10 seed + 30 mutated), 23 signatures (8 runs hit new coverage), corpus 8, 0 violations
+    stats: stats.json
+  dr_check: no violations
+  $ head -c 28 stats.json
+  [
+  {
+    "schema": "dr-campaign
+
+A repro file naming an out-of-catalog attack is a usage error, not a crash:
+
+  $ cat > bad.repro.json << 'JSON'
+  > { "schema": "dr-check/1", "protocol": "byz-2cycle", "attack": "bogus",
+  >   "k": 3, "n": 5, "t": 1, "seed": "1", "crash": "none", "script": [],
+  >   "invariant": "agreement", "event": 0, "detail": "" }
+  > JSON
+  $ dr_check --replay bad.repro.json
+  replaying byz-2cycle/bogus k=3 n=5 t=1 seed=1 crash=none: agreement at event 0 (script length 0)
+  dr_check: unknown attack "bogus" for byz-2cycle (known: default, nearmiss, silent, lie, equivocate, flood, adaptive, splitcast)
+  [2]

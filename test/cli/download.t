@@ -31,3 +31,14 @@ Traces round-trip through files and the analyser:
   crashes:      0
   terminations: 4
   time span:    [0.000, 1.000]
+
+An unknown attack name is a clean usage error, not a crash:
+
+  $ dr_download -p byz-2cycle --model byzantine -k 5 -n 64 -t 1 --attack bogus
+  dr_download: unknown attack "bogus" for byz-2cycle (known: default, nearmiss, silent, lie, equivocate, flood, adaptive, splitcast)
+  [124]
+
+The adaptive adversary (corrupts observed traffic online) is in the catalog:
+
+  $ dr_download -p byz-2cycle --model byzantine -k 9 -n 256 -t 2 --attack adaptive
+  byz-2cycle       OK  Q=256 (mean 256.0) T=0.0 M=56 bits=17920 status=completed

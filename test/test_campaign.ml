@@ -1,0 +1,288 @@
+(* The coverage-guided campaign: seeded-bug discovery, campaign-vs-random
+   comparison, byte-level determinism, shrinker idempotence, corpus
+   persistence and the coverage/mutation building blocks.
+
+   Golden files (seeded_*.repro.json, campaign_stats.golden) regenerate with
+   DR_CHECK_BLESS=1 dune runtest. *)
+
+module Check = Dr_check.Check
+module Coverage = Dr_check.Coverage
+module Corpus = Dr_check.Corpus
+module Mutate = Dr_check.Mutate
+module Repro = Dr_check.Repro
+module Invariant = Dr_check.Invariant
+module Explore = Dr_engine.Explore
+module Sim = Dr_engine.Sim
+module Prng = Dr_engine.Prng
+module Registry = Dr_core.Registry
+module Crash_plan = Dr_adversary.Crash_plan
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* One budget and seed for every fixture campaign: the acceptance bar is
+   that this single configuration finds all three planted bugs. *)
+let campaign_budget = 240
+let campaign_seed = 7
+
+let run_campaign target =
+  Check.campaign ~bucket:1 ~budget:campaign_budget ~seed:campaign_seed target
+
+let golden_path target = String.map (function '-' -> '_' | c -> c) target.Check.name ^ ".repro.json"
+
+let first_failure label (c : Check.campaign) =
+  match c.Check.failures with
+  | r :: _ -> r
+  | [] -> Alcotest.fail (label ^ ": campaign found no violation")
+
+(* ------------------------------------------------------------------ *)
+(* Seeded bugs: the campaign finds all three planted violations        *)
+(* ------------------------------------------------------------------ *)
+
+let test_campaign_finds_seeded_bugs () =
+  List.iter
+    (fun target ->
+      let c = run_campaign target in
+      let r = first_failure target.Check.name c in
+      checks
+        (target.Check.name ^ " violated invariant")
+        (Seeded_bugs.expected_invariant target)
+        r.Repro.invariant;
+      (* The shrunk counterexample is committed as a golden and must replay
+         to the same invariant at the same event index. *)
+      Test_check.bless_or_compare ~path:(golden_path target)
+        ~label:(target.Check.name ^ " golden repro")
+        (Repro.to_json r);
+      let reloaded = Repro.read (golden_path target) in
+      match Check.replay ~targets:Seeded_bugs.all reloaded with
+      | Check.Reproduced _ -> ()
+      | Check.Diverged msg -> Alcotest.fail (target.Check.name ^ " diverged: " ^ msg)
+      | Check.Vanished -> Alcotest.fail (target.Check.name ^ " vanished"))
+    Seeded_bugs.all
+
+let test_campaign_vs_random () =
+  (* Plain random fuzzing (dfs_budget = 0 strips the systematic prefix) at
+     the same budget, measured side by side. The campaign must find every
+     planted bug; random's score is informative, not asserted — the point of
+     the fixture suite is that the comparison is reproducible. *)
+  List.iter
+    (fun target ->
+      let c = run_campaign target in
+      let o =
+        Check.fuzz ~dfs_budget:0 ~budget:campaign_budget ~seed:campaign_seed target
+      in
+      Printf.printf "%s: campaign %d violation(s) in %d runs, random %d in %d\n%!"
+        target.Check.name
+        (List.length c.Check.failures)
+        c.Check.executed
+        (List.length o.Check.failures)
+        o.Check.runs;
+      checkb (target.Check.name ^ " campaign finds the bug") true (c.Check.failures <> []))
+    Seeded_bugs.all
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: same seed, same bytes                                  *)
+(* ------------------------------------------------------------------ *)
+
+let corpus_bytes c = String.concat "" (List.map Corpus.entry_to_json (Corpus.to_list c))
+
+let test_campaign_deterministic () =
+  let check_twice target =
+    let a = run_campaign target in
+    let b = run_campaign target in
+    checkb
+      (target.Check.name ^ " coverage maps equal")
+      true
+      (Coverage.equal a.Check.coverage b.Check.coverage);
+    checks
+      (target.Check.name ^ " coverage json")
+      (Coverage.to_json a.Check.coverage)
+      (Coverage.to_json b.Check.coverage);
+    checks (target.Check.name ^ " corpus bytes") (corpus_bytes a.Check.corpus)
+      (corpus_bytes b.Check.corpus);
+    checks
+      (target.Check.name ^ " failure list")
+      (String.concat "" (List.map Repro.to_json a.Check.failures))
+      (String.concat "" (List.map Repro.to_json b.Check.failures));
+    checks (target.Check.name ^ " stats json") (Check.campaign_stats_json a)
+      (Check.campaign_stats_json b)
+  in
+  check_twice Seeded_bugs.agreement;
+  (* And through the registry path (observer threaded via Exec.opts). *)
+  let entry = Registry.find_exn "crash-general" in
+  let a = Check.campaign ~budget:60 ~seed:3 (Check.of_registry entry) in
+  let b = Check.campaign ~budget:60 ~seed:3 (Check.of_registry entry) in
+  checkb "registry coverage maps equal" true (Coverage.equal a.Check.coverage b.Check.coverage);
+  checks "registry stats json" (Check.campaign_stats_json a) (Check.campaign_stats_json b)
+
+let test_campaign_stats_golden () =
+  let c = run_campaign Seeded_bugs.agreement in
+  Test_check.bless_or_compare ~path:"campaign_stats.golden" ~label:"campaign stats bytes"
+    (Check.campaign_stats_json c)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker idempotence                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_shrink_idempotent () =
+  (* Re-shrinking a shrunk counterexample is a fixpoint: replay the repro to
+     recover the violation, shrink again, demand identical bytes. *)
+  List.iter
+    (fun target ->
+      let c = run_campaign target in
+      let r = first_failure target.Check.name c in
+      match Check.replay ~targets:Seeded_bugs.all r with
+      | Check.Reproduced v ->
+        let r2 = Check.shrink target r.Repro.scenario v ~script:r.Repro.script in
+        checks (target.Check.name ^ " re-shrink is a fixpoint") (Repro.to_json r)
+          (Repro.to_json r2)
+      | Check.Diverged msg -> Alcotest.fail (target.Check.name ^ " diverged: " ^ msg)
+      | Check.Vanished -> Alcotest.fail (target.Check.name ^ " vanished"))
+    Seeded_bugs.all
+
+(* ------------------------------------------------------------------ *)
+(* Registry protocols under the campaign                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_campaign_clean () =
+  (* The real protocols — including the adaptive/splitcast adversaries now
+     in the Byzantine catalogs — must survive a campaign with zero
+     violations while producing nonempty coverage. *)
+  List.iter
+    (fun entry ->
+      let c = Check.campaign ~budget:40 ~seed:1 (Check.of_registry entry) in
+      checki (Registry.name entry ^ " violations") 0 (List.length c.Check.failures);
+      checki (Registry.name entry ^ " executed") 40 c.Check.executed;
+      checkb (Registry.name entry ^ " has coverage") true (Coverage.distinct c.Check.coverage > 0))
+    Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Corpus persistence                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_corpus_roundtrip () =
+  let c = run_campaign Seeded_bugs.agreement in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "dr_corpus_roundtrip" in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Corpus.save c.Check.corpus ~dir;
+  let reloaded = Corpus.load ~dir in
+  checki "corpus size survives" (Corpus.size c.Check.corpus) (Corpus.size reloaded);
+  checks "corpus bytes survive" (corpus_bytes c.Check.corpus) (corpus_bytes reloaded)
+
+let test_corpus_entry_rejects_garbage () =
+  let expect_failure label text =
+    match Corpus.entry_of_json text with
+    | _ -> Alcotest.fail (label ^ ": expected Failure")
+    | exception Failure _ -> ()
+  in
+  expect_failure "wrong schema" "{ \"schema\": \"dr-check/1\" }";
+  expect_failure "missing script"
+    "{ \"schema\": \"dr-corpus/1\", \"protocol\": \"x\", \"attack\": \"a\", \"k\": 1, \"n\": 1, \
+     \"t\": 0, \"seed\": \"1\", \"crash\": \"none\", \"new_signatures\": 0 }"
+
+(* ------------------------------------------------------------------ *)
+(* Building blocks: coverage map, signatures, mutation engine          *)
+(* ------------------------------------------------------------------ *)
+
+let test_coverage_map () =
+  let c = Coverage.create () in
+  checki "first run all fresh" 3 (Coverage.note c [ 1; 2; 3 ]);
+  checki "second run one fresh" 1 (Coverage.note c [ 2; 3; 4 ]);
+  checki "distinct" 4 (Coverage.distinct c);
+  checki "hits" 6 (Coverage.hits c);
+  checkb "signatures sorted" true (Coverage.signatures c = [ 1; 2; 3; 4 ]);
+  let d = Coverage.create () in
+  ignore (Coverage.note d [ 1; 2; 3 ]);
+  ignore (Coverage.note d [ 2; 3; 4 ]);
+  checkb "same notes, equal maps" true (Coverage.equal c d);
+  ignore (Coverage.note d [ 9 ]);
+  checkb "diverged maps differ" false (Coverage.equal c d);
+  Coverage.merge ~into:c d;
+  checki "merge unions" 5 (Coverage.distinct c)
+
+let test_signature_stability () =
+  let obs kind tag step = { Sim.obs_kind = kind; obs_peer = 0; obs_tag = tag; obs_step = step } in
+  let s1 = Explore.signature (obs Sim.Obs_deliver "seg(c2,0)" 12) in
+  checki "same obs, same signature" s1 (Explore.signature (obs Sim.Obs_deliver "seg(c2,0)" 12));
+  checkb "kind distinguishes" true
+    (s1 <> Explore.signature (obs Sim.Obs_query_reply "seg(c2,0)" 12));
+  checkb "tag distinguishes" true (s1 <> Explore.signature (obs Sim.Obs_deliver "seg(c2,1)" 12));
+  checkb "same bucket, same signature" true
+    (Explore.signature ~bucket:8 (obs Sim.Obs_deliver "x" 8)
+    = Explore.signature ~bucket:8 (obs Sim.Obs_deliver "x" 15));
+  checkb "bucket boundary distinguishes" true
+    (Explore.signature ~bucket:8 (obs Sim.Obs_deliver "x" 7)
+    <> Explore.signature ~bucket:8 (obs Sim.Obs_deliver "x" 8));
+  checkb "30-bit range" true (s1 >= 0 && s1 < 0x40000000)
+
+let test_scripted_then_random () =
+  let prng = Prng.create 5L in
+  let arb = Explore.scripted_then_random [ 1; 7; 0 ] prng in
+  checki "follows script" 1 (arb 3);
+  checki "clamps like the simulator" 2 (arb 3);
+  checki "script tail" 0 (arb 4);
+  for _ = 1 to 50 do
+    let c = arb 3 in
+    checkb "random suffix in range" true (c >= 0 && c < 3)
+  done
+
+let test_mutate_deterministic () =
+  let scenario =
+    {
+      Repro.protocol = "seeded-agreement";
+      attack = "default";
+      k = 3;
+      n = 2;
+      t = 0;
+      seed = 11L;
+      crash = Crash_plan.No_crash;
+    }
+  in
+  let base = { Corpus.scenario; script = [ 0; 1; 2; 3; 4; 5 ]; new_signatures = 2 } in
+  let donor = { Corpus.scenario; script = [ 9; 8; 7 ]; new_signatures = 1 } in
+  let mutate seed =
+    List.init 20 (fun _ ->
+        Mutate.mutate ~prng:(Prng.create seed) ~attacks:[ "default"; "silent" ]
+          ~crashes:[ Crash_plan.No_crash; Crash_plan.Mid_broadcast 1 ]
+          ~donor:(Some donor) base)
+    |> List.map (fun (s, prefix) ->
+           Repro.to_json
+             {
+               Repro.scenario = s;
+               script = prefix;
+               invariant = "agreement";
+               event = 0;
+               detail = "";
+             })
+    |> String.concat ""
+  in
+  checks "same prng, same mutants" (mutate 13L) (mutate 13L);
+  (* Across many draws every operator keeps the script a valid choice list. *)
+  let prng = Prng.create 99L in
+  for _ = 1 to 200 do
+    let _s, prefix =
+      Mutate.mutate ~prng ~attacks:[ "default"; "silent" ]
+        ~crashes:[ Crash_plan.No_crash; Crash_plan.Mid_broadcast 1 ]
+        ~donor:(Some donor) base
+    in
+    checkb "prefix entries nonnegative" true (List.for_all (fun c -> c >= 0) prefix);
+    checkb "prefix bounded" true (List.length prefix <= 9)
+  done
+
+let suite =
+  [
+    ("campaign: finds all seeded bugs (goldens)", `Quick, test_campaign_finds_seeded_bugs);
+    ("campaign: beats-or-matches plain random", `Quick, test_campaign_vs_random);
+    ("campaign: same seed, same bytes", `Quick, test_campaign_deterministic);
+    ("campaign: stats golden", `Quick, test_campaign_stats_golden);
+    ("shrink: re-shrinking is a fixpoint", `Quick, test_shrink_idempotent);
+    ("campaign: registry protocols stay clean", `Quick, test_registry_campaign_clean);
+    ("corpus: save/load round-trip", `Quick, test_corpus_roundtrip);
+    ("corpus: malformed entries rejected", `Quick, test_corpus_entry_rejects_garbage);
+    ("coverage: map accounting", `Quick, test_coverage_map);
+    ("coverage: signature stability", `Quick, test_signature_stability);
+    ("explore: scripted-then-random arbiter", `Quick, test_scripted_then_random);
+    ("mutate: deterministic and well-formed", `Quick, test_mutate_deterministic);
+  ]

@@ -55,8 +55,8 @@ let download n = Bitarray.init n (fun j -> S.query j)
 (* Deliberately order-sensitive: peer 0 outputs X only if peer 1's message
    beats peer 2's — the planted bug the checker must find, shrink and
    replay. *)
-let broken_run ~attack:_ ~crash:_ ~arbiter inst =
-  let cfg = Exec.build_config inst (Exec.make_opts ~arbiter ()) in
+let broken_run ?observer ~attack:_ ~crash:_ ~arbiter inst =
+  let cfg = Exec.build_config inst (Exec.make_opts ?observer ~arbiter ()) in
   let n = Problem.n inst in
   let outcome =
     S.run cfg (fun i ->
@@ -85,13 +85,13 @@ let broken_target =
 
 (* Wrong output whenever any peer has a send-counted crash spec — exercises
    fault-plan shrinking in isolation. *)
-let crashy_run ~attack:_ ~crash ~arbiter inst =
+let crashy_run ?observer ~attack:_ ~crash ~arbiter inst =
   let bad =
     List.exists
       (fun p -> match crash p with Sim.After_sends _ -> true | _ -> false)
       (List.init inst.Problem.k Fun.id)
   in
-  let cfg = Exec.build_config inst (Exec.make_opts ~arbiter ()) in
+  let cfg = Exec.build_config inst (Exec.make_opts ?observer ~arbiter ()) in
   let n = Problem.n inst in
   let outcome = S.run cfg (fun _ -> if bad then Bitarray.flip (download n) 0 else download n) in
   Exec.finish ~protocol:"crash-sensitive" inst outcome
@@ -107,8 +107,8 @@ let crashy_target =
   }
 
 (* Honest peer 0 waits for a message nobody sends. *)
-let deadlock_run ~attack:_ ~crash:_ ~arbiter inst =
-  let cfg = Exec.build_config inst (Exec.make_opts ~arbiter ()) in
+let deadlock_run ?observer ~attack:_ ~crash:_ ~arbiter inst =
+  let cfg = Exec.build_config inst (Exec.make_opts ?observer ~arbiter ()) in
   let n = Problem.n inst in
   let outcome =
     S.run cfg (fun i ->
@@ -343,6 +343,35 @@ let test_registry_protocols_clean () =
       checki (Registry.name entry ^ " runs") 80 o.Check.runs)
     Registry.all
 
+let test_unknown_attack_rejected () =
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.equal (String.sub s i n) sub || go (i + 1)) in
+    go 0
+  in
+  let e = Registry.find_exn "byz-2cycle" in
+  (match Registry.validate_attack e "bogus" with
+  | Ok () -> Alcotest.fail "expected Error for an out-of-catalog attack"
+  | Error msg ->
+    checkb "message names the attack" true (contains ~sub:"bogus" msg);
+    checkb "message lists the catalog" true (contains ~sub:"adaptive" msg));
+  checkb "default accepted" true (Registry.validate_attack e "default" = Ok ());
+  List.iter
+    (fun a -> checkb (a ^ " accepted") true (Registry.validate_attack e a = Ok ()))
+    (Registry.attacks e);
+  (* Protocols without an attack surface accept and ignore any name. *)
+  let naive = Registry.find_exn "naive" in
+  checkb "no attack surface ignores the name" true
+    (Registry.validate_attack naive "bogus" = Ok ());
+  (* Running anyway raises the structured exception, not a bare Failure. *)
+  let inst = Problem.random_instance ~seed:1L ~model:Problem.Byzantine ~k:4 ~n:16 ~t:1 () in
+  match e.Registry.run ~attack:"bogus" inst with
+  | _ -> Alcotest.fail "expected Unknown_attack"
+  | exception Registry.Unknown_attack { attack; protocol; known } ->
+    checks "exception attack" "bogus" attack;
+    checks "exception protocol" "byz-2cycle" protocol;
+    checkb "exception catalog includes default" true (List.exists (String.equal "default") known)
+
 let test_replay_detects_divergence () =
   (* A repro doctored to expect the wrong event index must be flagged as
      divergence, not reported as reproduced. *)
@@ -374,5 +403,6 @@ let suite =
     ("repro: golden file replays identically", `Quick, test_repro_golden_file);
     ("repro: malformed input rejected", `Quick, test_repro_rejects_garbage);
     ("registry: protocols fuzz clean", `Quick, test_registry_protocols_clean);
+    ("registry: unknown attacks rejected cleanly", `Quick, test_unknown_attack_rejected);
     ("replay: doctored repros diverge", `Quick, test_replay_detects_divergence);
   ]

@@ -42,8 +42,8 @@ let test_registry_attack_dispatch () =
   checkb "committee silent attack runs" true
     (committee.Registry.run ~attack:"silent" byz).Problem.ok;
   (match committee.Registry.run ~attack:"bogus" byz with
-  | _ -> Alcotest.fail "expected Failure on unknown attack"
-  | exception Failure _ -> ());
+  | _ -> Alcotest.fail "expected Unknown_attack on unknown attack"
+  | exception Registry.Unknown_attack { protocol = "byz-committee"; attack = "bogus"; _ } -> ());
   let two = Registry.find_exn "byz-2cycle" in
   (* The lie attack may legitimately defeat a tiny segment count; the check
      here is that the attack name reaches the right protocol. *)
