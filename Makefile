@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench bench-check bench-diff check check-smoke soak net-smoke clean
+.PHONY: all build test lint race bench bench-check bench-diff check check-smoke soak net-smoke clean
 
 all: build
 
@@ -12,6 +12,14 @@ test:
 # over lib/ bin/ bench/. Nonzero exit on any finding or stale pragma.
 lint:
 	dune build @lint
+
+# Whole-program domain-safety analysis: dr_race's R1-R3 rules against the
+# zone map in dr-race.zones, plus a regenerate-and-diff of the committed
+# census (RACE_INVENTORY.json). Regenerate the census after changing
+# module-level mutable state:
+#   dune exec bin/dr_race_main.exe -- --inventory > RACE_INVENTORY.json
+race:
+	dune build @race
 
 # Full benchmark run: writes BENCH_engine.json / BENCH_protocols.json in the
 # working directory (several minutes).

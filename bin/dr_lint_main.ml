@@ -30,12 +30,19 @@ let rules_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Print findings only, no summary line.")
 
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:"Finding output format: $(b,text) or $(b,json) (dr-lint/1 JSON lines).")
+
 let print_rules () =
   List.iter
     (fun r -> Format.printf "%s  %s@." (Finding.rule_name r) (Finding.rule_doc r))
     [ Finding.L1; Finding.L2; Finding.L3; Finding.L4; Finding.L5 ]
 
-let run paths rules quiet =
+let run paths rules quiet format =
   if rules then begin
     print_rules ();
     0
@@ -43,11 +50,14 @@ let run paths rules quiet =
   else
     match Driver.lint_paths paths with
     | report ->
-      if quiet then
-        List.iter
-          (fun fr -> List.iter (Format.printf "%a@." Finding.pp) fr.Driver.findings)
-          report.Driver.files
-      else Format.printf "%a" Driver.pp_report report;
+      (match format with
+      | `Json -> Format.printf "%a" Driver.pp_report_json report
+      | `Text ->
+        if quiet then
+          List.iter
+            (fun fr -> List.iter (Format.printf "%a@." Finding.pp) fr.Driver.findings)
+            report.Driver.files
+        else Format.printf "%a" Driver.pp_report report);
       if Driver.clean report then 0 else 1
     | exception Driver.Error msg ->
       Format.eprintf "dr_lint: %s@." msg;
@@ -57,6 +67,6 @@ let cmd =
   let doc = "AST-level determinism & query-confinement linter (rules L1-L5)" in
   Cmd.v
     (Cmd.info "dr_lint" ~doc)
-    Term.(const run $ paths_arg $ rules_arg $ quiet_arg)
+    Term.(const run $ paths_arg $ rules_arg $ quiet_arg $ format_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,43 @@
+(* The one sanctioned doorway to engine-shared mutable state.
+
+   dr_race's R2 rule rejects any direct cross-module access to a cell
+   declared [engine-shared] in dr-race.zones — every such cell must be
+   held in (or reached through) one of these wrappers, so the sharing
+   discipline is visible at the type level and checkable syntactically.
+   See DESIGN.md "Domain-safety zones". *)
+
+module Counter = struct
+  type t = int Atomic.t
+
+  let make () = Atomic.make 0
+  let incr t = Atomic.incr t
+  let add t n = ignore (Atomic.fetch_and_add t n)
+  let get t = Atomic.get t
+  let reset t = Atomic.set t 0
+end
+
+module Cell = struct
+  type 'a t = 'a Atomic.t
+
+  let make v = Atomic.make v
+  let get t = Atomic.get t
+  let set t v = Atomic.set t v
+
+  (* Retry loop over compare_and_set: lock-free read-modify-write. [f] may
+     run more than once and must be pure. *)
+  let rec update t f =
+    let cur = Atomic.get t in
+    if not (Atomic.compare_and_set t cur (f cur)) then update t f
+end
+
+module Guarded = struct
+  type 'a t = { mu : Mutex.t; mutable v : 'a }
+
+  let make v = { mu = Mutex.create (); v }
+
+  let with_lock t f =
+    Mutex.lock t.mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) (fun () -> f t.v)
+
+  let set t v = with_lock t (fun _ -> t.v <- v)
+end

@@ -23,11 +23,7 @@ let parse ~path source =
   with exn ->
     raise (Error (Printf.sprintf "%s: parse error (%s)" path (Printexc.to_string exn)))
 
-let lint_source ?ctx ~path source =
-  let ctx = match ctx with Some c -> c | None -> Rules.ctx_of_path path in
-  let str = parse ~path source in
-  let raw = Rules.collect ~ctx ~file:path str in
-  let pragmas = Pragma.scan source in
+let apply_pragmas ~path ~pragmas raw =
   let findings, suppressed =
     List.partition_map
       (fun f ->
@@ -39,7 +35,13 @@ let lint_source ?ctx ~path source =
   let unused_pragmas =
     List.filter (fun p -> not (List.exists (fun (_, q) -> q == p) suppressed)) pragmas
   in
-  { path; findings; suppressed; unused_pragmas }
+  { path; findings = List.sort Finding.compare findings; suppressed; unused_pragmas }
+
+let lint_source ?ctx ~path source =
+  let ctx = match ctx with Some c -> c | None -> Rules.ctx_of_path path in
+  let str = parse ~path source in
+  let raw = Rules.collect ~ctx ~file:path str in
+  apply_pragmas ~path ~pragmas:(Pragma.scan source) raw
 
 let read_file path =
   let ic = try open_in_bin path with Sys_error e -> raise (Error e) in
@@ -56,6 +58,7 @@ let lint_file ?ctx path = lint_source ?ctx ~path (read_file path)
 let skip_dir name =
   String.equal name "_build"
   || String.equal name "lint_fixtures"
+  || String.equal name "race_fixtures"
   || (String.length name > 0 && name.[0] = '.')
 
 let is_ml name =
@@ -74,13 +77,19 @@ let rec walk acc path =
   else acc
 
 let files_under roots =
-  List.rev
-    (List.fold_left
-       (fun acc root ->
-         if not (Sys.file_exists root) then
-           raise (Error (Printf.sprintf "no such file or directory: %s" root))
-         else walk acc root)
-       [] roots)
+  let files =
+    List.fold_left
+      (fun acc root ->
+        if not (Sys.file_exists root) then
+          raise (Error (Printf.sprintf "no such file or directory: %s" root))
+        else walk acc root)
+      [] roots
+  in
+  (* One global byte-order sort (plus dedup for overlapping roots): the walk
+     already visits each directory in sorted order, but reports must be
+     byte-identical no matter how roots were spelled or what order the
+     filesystem hands entries back in. *)
+  List.sort_uniq String.compare files
 
 let lint_paths roots =
   let files = files_under roots in
@@ -93,7 +102,20 @@ let lint_paths roots =
     total_suppressed = List.fold_left (fun n r -> n + List.length r.suppressed) 0 files;
   }
 
-let pp_report ppf r =
+let report_of_file_reports reports =
+  let files =
+    List.filter
+      (fun r -> r.findings <> [] || r.suppressed <> [] || r.unused_pragmas <> [])
+      (List.sort (fun a b -> String.compare a.path b.path) reports)
+  in
+  {
+    files;
+    files_scanned = List.length reports;
+    total_findings = List.fold_left (fun n r -> n + List.length r.findings) 0 files;
+    total_suppressed = List.fold_left (fun n r -> n + List.length r.suppressed) 0 files;
+  }
+
+let pp_report_as ~tool ppf r =
   List.iter
     (fun fr ->
       List.iter (fun f -> Format.fprintf ppf "%a@." Finding.pp f) fr.findings;
@@ -104,12 +126,32 @@ let pp_report ppf r =
             (Finding.rule_name p.Pragma.rule))
         fr.unused_pragmas)
     r.files;
-  Format.fprintf ppf "dr_lint: %d file%s scanned, %d finding%s, %d suppressed by pragma@."
+  Format.fprintf ppf "%s: %d file%s scanned, %d finding%s, %d suppressed by pragma@." tool
     r.files_scanned
     (if r.files_scanned = 1 then "" else "s")
     r.total_findings
     (if r.total_findings = 1 then "" else "s")
     r.total_suppressed
+
+let pp_report ppf r = pp_report_as ~tool:"dr_lint" ppf r
+
+(* Machine-readable findings: one dr-lint/1 JSON object per line (findings
+   and unused pragmas only — the summary lives in the exit code). *)
+let pp_report_json ppf r =
+  List.iter
+    (fun fr ->
+      List.iter (fun f -> Format.fprintf ppf "%s@." (Finding.to_json f)) fr.findings;
+      List.iter
+        (fun p ->
+          Format.fprintf ppf
+            "{\"schema\": \"%s\", \"kind\": \"unused-pragma\", \"file\": \"%s\", \"line\": %d, \
+             \"rule\": \"%s\"}@."
+            Finding.json_schema
+            (Finding.json_escape fr.path)
+            p.Pragma.line
+            (Finding.rule_name p.Pragma.rule))
+        fr.unused_pragmas)
+    r.files
 
 let clean r =
   r.total_findings = 0 && List.for_all (fun fr -> fr.unused_pragmas = []) r.files

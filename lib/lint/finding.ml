@@ -1,4 +1,4 @@
-type rule = L1 | L2 | L3 | L4 | L5
+type rule = L1 | L2 | L3 | L4 | L5 | R1 | R2 | R3
 
 let rule_name = function
   | L1 -> "L1"
@@ -6,6 +6,9 @@ let rule_name = function
   | L3 -> "L3"
   | L4 -> "L4"
   | L5 -> "L5"
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
 
 let rule_of_string = function
   | "L1" -> Some L1
@@ -13,7 +16,15 @@ let rule_of_string = function
   | "L3" -> Some L3
   | "L4" -> Some L4
   | "L5" -> Some L5
+  | "R1" -> Some R1
+  | "R2" -> Some R2
+  | "R3" -> Some R3
   | _ -> None
+
+let rule_equal a b =
+  match (a, b) with
+  | L1, L1 | L2, L2 | L3, L3 | L4, L4 | L5, L5 | R1, R1 | R2, R2 | R3, R3 -> true
+  | _ -> false
 
 let rule_doc = function
   | L1 -> "determinism: no ambient randomness or wall-clock in simulated code"
@@ -21,6 +32,12 @@ let rule_doc = function
   | L3 -> "no direct stdout/stderr in lib/: print through a formatter parameter"
   | L4 -> "query confinement: only Exec/Problem/Dr_source may touch Data_source.query"
   | L5 -> "fiber safety: no exit/blocking IO inside lib/core or lib/engine"
+  | R1 -> "domain zones: every escaping mutable cell/type carries a dr-race.zones declaration"
+  | R2 -> "cross-zone access: engine-shared via Domain_safe only; per-domain stays in its subtree; init-only is never written post-init"
+  | R3 -> "domain-unsafe stdlib singleton (std_formatter, default Random state, ...) outside lib/stats and the binaries"
+
+let lint_rules = [ L1; L2; L3; L4; L5 ]
+let race_rules = [ R1; R2; R3 ]
 
 type t = { file : string; line : int; col : int; rule : rule; msg : string }
 
@@ -33,6 +50,8 @@ let make ~file ~loc rule msg =
     rule;
     msg;
   }
+
+let at ~file ~line ~col rule msg = { file; line; col; rule; msg }
 
 let compare a b =
   let c = String.compare a.file b.file in
@@ -52,3 +71,28 @@ let pp_short ppf f =
   Format.fprintf ppf "%s:%d [%s]" (Filename.basename f.file) f.line (rule_name f.rule)
 
 let to_short f = Format.asprintf "%a" pp_short f
+
+(* ------------------------------------------------------------------ *)
+(* JSON lines (schema dr-lint/1)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let json_schema = "dr-lint/1"
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf
+    "{\"schema\": \"%s\", \"kind\": \"finding\", \"file\": \"%s\", \"line\": %d, \"col\": %d, \
+     \"rule\": \"%s\", \"msg\": \"%s\"}"
+    json_schema (json_escape f.file) f.line f.col (rule_name f.rule) (json_escape f.msg)

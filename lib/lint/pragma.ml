@@ -9,11 +9,16 @@
    kept for the summary; pragmas that suppress nothing are reported as
    unused so stale allowances don't accumulate. (The scanner insists on a
    comment opener directly before the marker, so prose that merely mentions
-   the syntax — like this block — is not a pragma.) *)
+   the syntax — like this block — is not a pragma.)
 
-type t = { line : int; rule : Finding.rule; reason : string }
+   dr_race reuses the same machinery with the marker "dr-race:" for its
+   allow pragmas, and with the verb "zone" for inline zone declarations
+   (see Zones). *)
 
-let marker = "dr-lint:"
+type t = { line : int; rule : Finding.rule; reason : string; at_eof : bool }
+
+let lint_marker = "dr-lint:"
+let race_marker = "dr-race:"
 
 let is_space c = c = ' ' || c = '\t'
 
@@ -39,60 +44,91 @@ let opener_before text at =
   let i = back (at - 1) in
   i >= 1 && text.[i] = '*' && text.[i - 1] = '('
 
-(* Parse one line; [None] when it carries no (well-formed) pragma. *)
-let of_line ~line text =
+(* Strip a leading em-dash / hyphen separator and the comment close from a
+   reason tail. *)
+let clean_reason reason =
+  let drop_prefix p s =
+    let ns = String.length s and np = String.length p in
+    if ns >= np && String.equal (String.sub s 0 np) p then strip (String.sub s np (ns - np))
+    else s
+  in
+  let s = drop_prefix "\xe2\x80\x94" (drop_prefix "--" (drop_prefix "- " reason)) in
+  let s = drop_prefix "\xe2\x80\x94" s in
+  match find_sub ~start:0 s "*)" with
+  | Some i -> strip (String.sub s 0 i)
+  | None -> s
+
+(* The payload after [marker verb] on one line; [None] when the line carries
+   no well-formed directive. *)
+let directive_of_line ~marker ~verb text =
   match find_sub ~start:0 text marker with
   | None -> None
   | Some at when not (opener_before text at) -> None
-  | Some at -> (
-    let rest = String.sub text (at + String.length marker) (String.length text - at - String.length marker) in
+  | Some at ->
+    let rest =
+      String.sub text (at + String.length marker) (String.length text - at - String.length marker)
+    in
     let rest = strip rest in
-    let verb = "allow" in
     let nr = String.length rest and nv = String.length verb in
     if nr < nv || not (String.equal (String.sub rest 0 nv) verb) then None
     else
-      let rest = strip (String.sub rest (String.length verb) (String.length rest - String.length verb)) in
-      (* Rule token: up to the first space (or end). *)
-      let tok_end = match find_sub ~start:0 rest " " with Some i -> i | None -> String.length rest in
-      let tok = String.sub rest 0 tok_end in
-      match Finding.rule_of_string tok with
-      | None -> None
-      | Some rule ->
-        let reason = strip (String.sub rest tok_end (String.length rest - tok_end)) in
-        (* Drop a leading em-dash / hyphen separator and the comment close. *)
-        let reason =
-          let drop_prefix p s =
-            let ns = String.length s and np = String.length p in
-            if ns >= np && String.equal (String.sub s 0 np) p then
-              strip (String.sub s np (ns - np))
-            else s
-          in
-          let s = drop_prefix "\xe2\x80\x94" (drop_prefix "--" (drop_prefix "- " reason)) in
-          let s = drop_prefix "\xe2\x80\x94" s in
-          match find_sub ~start:0 s "*)" with
-          | Some i -> strip (String.sub s 0 i)
-          | None -> s
-        in
-        Some { line; rule; reason })
+      let payload = strip (String.sub rest nv (nr - nv)) in
+      (* The comment close is delimiter, not payload. *)
+      let payload =
+        match find_sub ~start:0 payload "*)" with
+        | Some i -> strip (String.sub payload 0 i)
+        | None -> payload
+      in
+      Some payload
 
-let scan source =
+(* Parse one line; [None] when it carries no (well-formed) allow pragma. *)
+let of_line ~marker ~line text =
+  match directive_of_line ~marker ~verb:"allow" text with
+  | None -> None
+  | Some rest -> (
+    (* Rule token: up to the first space (or end). *)
+    let tok_end = match find_sub ~start:0 rest " " with Some i -> i | None -> String.length rest in
+    let tok = String.sub rest 0 tok_end in
+    match Finding.rule_of_string tok with
+    | None -> None
+    | Some rule ->
+      let reason = clean_reason (strip (String.sub rest tok_end (String.length rest - tok_end))) in
+      Some { line; rule; reason; at_eof = false })
+
+let fold_lines source f acc =
   let lines = String.split_on_char '\n' source in
-  let _, acc =
-    List.fold_left
-      (fun (line, acc) text ->
-        match of_line ~line text with
-        | Some p -> (line + 1, p :: acc)
-        | None -> (line + 1, acc))
-      (1, []) lines
+  (* A trailing newline yields a phantom empty last element; a pragma can
+     never sit on it, but the real last source line must know it is last so
+     [covers] doesn't reach past the end of the file. *)
+  let total =
+    match List.rev lines with "" :: (_ :: _ as rest) -> List.length rest | l -> List.length l
   in
-  List.rev acc
+  let _, acc =
+    List.fold_left (fun (line, acc) text -> (line + 1, f ~line ~total text acc)) (1, acc) lines
+  in
+  acc
+
+let scan ?(marker = lint_marker) source =
+  List.rev
+    (fold_lines source
+       (fun ~line ~total text acc ->
+         match of_line ~marker ~line text with
+         | Some p -> { p with at_eof = line >= total } :: acc
+         | None -> acc)
+       [])
+
+let directives ~marker ~verb source =
+  List.rev
+    (fold_lines source
+       (fun ~line ~total:_ text acc ->
+         match directive_of_line ~marker ~verb text with
+         | Some payload -> (line, payload) :: acc
+         | None -> acc)
+       [])
 
 let covers p (f : Finding.t) =
-  (match (p.rule, f.rule) with
-  | Finding.L1, Finding.L1
-  | Finding.L2, Finding.L2
-  | Finding.L3, Finding.L3
-  | Finding.L4, Finding.L4
-  | Finding.L5, Finding.L5 -> true
-  | _ -> false)
-  && (f.line = p.line || f.line = p.line + 1)
+  Finding.rule_equal p.rule f.rule
+  (* A pragma covers its own line and the line directly below — but a pragma
+     on the last line of the file has no line below, and must not "cover"
+     findings that happen to carry an out-of-range position. *)
+  && (f.line = p.line || (f.line = p.line + 1 && not p.at_eof))

@@ -1,0 +1,33 @@
+(** Domain-safety zone declarations: the [dr-race.zones] file and inline
+    [(* dr-race: zone ... *)] pragmas. *)
+
+type zone =
+  | Engine_shared  (** accessed only via the Domain_safe wrapper *)
+  | Per_domain of string option  (** one instance per domain; optional owner subtree *)
+  | Init_only  (** written during setup, read-only afterward (values only) *)
+
+val zone_name : zone -> string
+val zone_of_string : string -> zone option
+
+type decl = {
+  d_key : string;  (** "Metrics.t", "Bitarray.popcount_byte" *)
+  d_sort : Inventory.sort;
+  d_zone : zone;
+  d_reason : string;
+  d_file : string;  (** zones file, or the .ml carrying the pragma *)
+  d_line : int;
+}
+
+exception Parse_error of string
+(** Malformed zones file; carries [path:line: reason]. *)
+
+val parse_file : path:string -> string -> decl list
+(** Parse a [dr-race.zones] file ([#] comments and blank lines skipped).
+    Raises {!Parse_error}. *)
+
+val of_pragmas : Symbols.unit_info -> Inventory.item list -> decl list * (int * string) list
+(** Inline zone pragmas of one unit, matched to the inventory items
+    declared on the pragma's line or the line below; the second component
+    is the stale pragmas [(line, why)] that matched nothing. *)
+
+val find : decl list -> sort:Inventory.sort -> key:string -> decl option

@@ -212,7 +212,7 @@ let run ?(timeout = 60.) ?source ?(crash = Dr_adversary.Crash_plan.none)
       match r with
       | Some { error = Some e; _ } ->
         (* dr-lint: allow L3 — a child process died unexpectedly; stderr is the only channel left *)
-        Printf.eprintf "dr_net: peer %d failed: %s\n%!" i e
+        Printf.eprintf "dr_net: peer %d failed: %s\n%!" i e (* dr-race: allow R3 — single-domain net runtime; same justification as the L3 waiver *)
       | _ -> ())
     results;
   let honest = Problem.honest inst in

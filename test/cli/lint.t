@@ -1,0 +1,39 @@
+A planted violation is reported in text and as dr-lint/1 JSON lines, with
+the same nonzero exit:
+
+  $ mkdir -p lib
+  $ cat > lib/bad.ml << 'ML'
+  > let greet () = print_endline "hi"
+  > ML
+  $ dr_lint lib
+  lib/bad.ml:1:15 [L3] print_endline writes straight to the process stdout/stderr; take a Format.formatter parameter (or go through Trace)
+  dr_lint: 1 file scanned, 1 finding, 0 suppressed by pragma
+  [1]
+  $ dr_lint --format json lib
+  {"schema": "dr-lint/1", "kind": "finding", "file": "lib/bad.ml", "line": 1, "col": 15, "rule": "L3", "msg": "print_endline writes straight to the process stdout/stderr; take a Format.formatter parameter (or go through Trace)"}
+  [1]
+
+A pragma waives the finding and a clean run exits 0 (JSON mode prints
+nothing when there is nothing to report):
+
+  $ cat > lib/bad.ml << 'ML'
+  > (* dr-lint: allow L3 -- demo waiver *)
+  > let greet () = print_endline "hi"
+  > ML
+  $ dr_lint lib
+  dr_lint: 1 file scanned, 0 findings, 1 suppressed by pragma
+  $ dr_lint --format json lib
+
+A stale pragma is itself a finding, in both formats:
+
+  $ cat > lib/bad.ml << 'ML'
+  > (* dr-lint: allow L3 -- now stale *)
+  > let greet () = 1
+  > ML
+  $ dr_lint lib
+  lib/bad.ml:1: unused pragma (allow L3) — nothing to suppress
+  dr_lint: 1 file scanned, 0 findings, 0 suppressed by pragma
+  [1]
+  $ dr_lint --format json lib
+  {"schema": "dr-lint/1", "kind": "unused-pragma", "file": "lib/bad.ml", "line": 1, "rule": "L3"}
+  [1]

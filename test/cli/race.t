@@ -1,0 +1,54 @@
+An escaping mutable cell with no zone is an R1 finding:
+
+  $ mkdir -p proj/lib/engine proj/lib/check
+  $ cat > proj/lib/engine/state.ml << 'ML'
+  > let hits = ref 0
+  > let bump () = hits := !hits + 1
+  > ML
+  $ cat > proj/lib/check/user.ml << 'ML'
+  > let poke () = State.hits := 1
+  > ML
+  $ dr_race proj/lib
+  proj/lib/engine/state.ml:1:4 [R1] escaping mutable value `State.hits` (ref) has no domain zone; declare it in dr-race.zones or with an inline zone pragma
+  dr_race: 2 files scanned, 1 finding, 0 suppressed by pragma
+  [1]
+
+Declaring it engine-shared satisfies R1, but now the cross-module access
+from user.ml breaks the zone discipline (R2) — same-unit access in bump
+stays legal:
+
+  $ cat > zones << 'EOF'
+  > value State.hits engine-shared -- the one shared counter
+  > EOF
+  $ dr_race --zones zones proj/lib
+  proj/lib/check/user.ml:1:14 [R2] engine-shared cell State.hits accessed directly from User; go through the Domain_safe wrapper
+  dr_race: 2 files scanned, 1 finding, 0 suppressed by pragma
+  [1]
+  $ dr_race --zones zones --format json proj/lib
+  {"schema": "dr-lint/1", "kind": "finding", "file": "proj/lib/check/user.ml", "line": 1, "col": 14, "rule": "R2", "msg": "engine-shared cell State.hits accessed directly from User; go through the Domain_safe wrapper"}
+  [1]
+
+The census is stable dr-race/1 JSON; the zone column reflects the
+declarations in force:
+
+  $ dr_race --zones zones --inventory proj/lib
+  {
+    "schema": "dr-race/1",
+    "units": 2,
+    "values": [
+      { "key": "State.hits", "kind": "ref", "file": "proj/lib/engine/state.ml", "line": 1, "col": 4, "escaping": true, "guarded": false, "zone": "engine-shared" }
+    ],
+    "types": [
+    ],
+    "singletons": [
+    ]
+  }
+
+Fixing the trespass by moving the access into the defining unit brings the
+tree back to clean:
+
+  $ cat > proj/lib/check/user.ml << 'ML'
+  > let poke () = State.bump ()
+  > ML
+  $ dr_race --zones zones proj/lib
+  dr_race: 2 files scanned, 0 findings, 0 suppressed by pragma

@@ -1,0 +1,4 @@
+(* Planted R2: an engine-shared cell touched directly from another unit —
+   both the write and the read must be flagged. *)
+let poke () = Shared_cell.hits := 1
+let peek () = !Shared_cell.hits

@@ -1,0 +1,4 @@
+(* Planted R3: domain-unsafe stdlib singletons outside bin//bench//lib/stats.
+   The second use carries a deliberate waiver and must be suppressed. *)
+let hello () = Printf.printf "hello\n"
+let bye () = print_endline "bye" (* dr-race: allow R3 — fixture: waived on purpose *)

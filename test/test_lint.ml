@@ -73,6 +73,25 @@ let pragma_needs_comment_opener () =
   Alcotest.(check (list string)) "finding not suppressed by prose" [ "fake.ml:2 [L3]" ]
     (shorts r)
 
+(* A pragma on the file's last line has no "line below" to cover: it must
+   suppress same-line findings only, and never claim the phantom line a
+   trailing newline used to suggest. *)
+let pragma_eof_edge () =
+  let f line = Finding.at ~file:"f.ml" ~line ~col:0 Finding.L3 "msg" in
+  let scan1 src =
+    match Pragma.scan src with
+    | [ p ] -> p
+    | ps -> Alcotest.failf "expected one pragma, got %d" (List.length ps)
+  in
+  let mid = scan1 "(* dr-lint: allow L3 -- x *)\nlet y = 1\n" in
+  Alcotest.(check bool) "mid-file pragma covers the line below" true (Pragma.covers mid (f 2));
+  let last = scan1 "let y = 1\n(* dr-lint: allow L3 -- x *)\n" in
+  Alcotest.(check bool) "last-line pragma covers its own line" true (Pragma.covers last (f 2));
+  Alcotest.(check bool) "last-line pragma does not cover the phantom line below" false
+    (Pragma.covers last (f 3));
+  let last_nonl = scan1 "let y = 1\n(* dr-lint: allow L3 -- x *)" in
+  Alcotest.(check bool) "same without a trailing newline" false (Pragma.covers last_nonl (f 3))
+
 (* ---- context derivation ---- *)
 
 let ctx_of_path () =
@@ -91,6 +110,56 @@ let ctx_of_path () =
   Alcotest.(check bool) "net runner may not query" false c.Rules.allow_query;
   let c = Rules.ctx_of_path "lib/net/source_server.ml" in
   Alcotest.(check bool) "source server is the net Q meter" true c.Rules.allow_query
+
+(* Corner cases, table-driven: separators, relative prefixes, fixture
+   paths. Expected tuple is (in_lib, in_core_engine, allow_query). *)
+let ctx_of_path_corners () =
+  let cases =
+    [
+      (* Backslashes are not separators: a Windows-style spelling names no
+         zone at all rather than silently matching lib/. *)
+      ("lib\\core\\exec.ml", false, false, false);
+      (* Leading ./ and ../ segments don't block zone detection. *)
+      ("../lib/core/exec.ml", true, true, true);
+      ("./lib/core/exec.ml", true, true, true);
+      ("../../lib/engine/sim.ml", true, true, false);
+      (* Doubled separators add only empty segments. *)
+      ("lib//core//exec.ml", true, true, true);
+      (* Fixture files under a lib-like path still derive a lib ctx: their
+         exclusion from real runs is the tree walker's job, not ctx's. *)
+      ("lib/lint/lint_fixtures/bad_l1.ml", true, false, false);
+      (* A directory merely named lib deep in another tree still counts —
+         ctx derivation is segment membership, by design. *)
+      ("vendor/lib/x.ml", true, false, false);
+    ]
+  in
+  List.iter
+    (fun (path, in_lib, in_core_engine, allow_query) ->
+      let c = Rules.ctx_of_path path in
+      Alcotest.(check bool) (path ^ " in_lib") in_lib c.Rules.in_lib;
+      Alcotest.(check bool) (path ^ " in_core_engine") in_core_engine c.Rules.in_core_engine;
+      Alcotest.(check bool) (path ^ " allow_query") allow_query c.Rules.allow_query)
+    cases
+
+(* The walk feeding dr_lint/dr_race is globally sorted and deduplicated, so
+   reports and the committed census are byte-stable however the roots are
+   spelled — and fixture directories never leak into real runs. *)
+let files_under_deterministic () =
+  let a = Driver.files_under [ "../lib"; "../bin" ] in
+  let b = Driver.files_under [ "../bin"; "../lib"; "../lib" ] in
+  Alcotest.(check (list string)) "root order and duplicates don't matter" a b;
+  Alcotest.(check bool) "output is sorted" true (List.sort String.compare a = a);
+  Alcotest.(check bool) "walk found the tree" true (List.length a > 50);
+  let mkdir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755 in
+  mkdir "walkroot";
+  mkdir "walkroot/lint_fixtures";
+  mkdir "walkroot/race_fixtures";
+  let touch p = Out_channel.with_open_bin p (fun oc -> Out_channel.output_string oc "let x = 1\n") in
+  touch "walkroot/ok.ml";
+  touch "walkroot/lint_fixtures/planted.ml";
+  touch "walkroot/race_fixtures/planted.ml";
+  Alcotest.(check (list string)) "fixture dirs are skipped" [ "walkroot/ok.ml" ]
+    (Driver.files_under [ "walkroot" ])
 
 (* ---- the lib/net zone ---- *)
 
@@ -200,7 +269,11 @@ let suite =
     Alcotest.test_case "pragma: suppression + golden" `Quick pragma_suppression;
     Alcotest.test_case "pragma: unused is reported" `Quick pragma_unused;
     Alcotest.test_case "pragma: needs a comment opener" `Quick pragma_needs_comment_opener;
+    Alcotest.test_case "pragma: last-line edge" `Quick pragma_eof_edge;
     Alcotest.test_case "ctx_of_path zones" `Quick ctx_of_path;
+    Alcotest.test_case "ctx_of_path corner cases" `Quick ctx_of_path_corners;
+    Alcotest.test_case "files_under is sorted, deduped, fixture-free" `Quick
+      files_under_deterministic;
     Alcotest.test_case "lib/net zone rules" `Quick net_zone_rules;
     Alcotest.test_case "live tree is lint-clean" `Quick live_tree_clean;
     Alcotest.test_case "deleting a pragma re-exposes the finding" `Quick pragma_deletion_detected;
