@@ -1,4 +1,4 @@
-.PHONY: all build test lint race bench bench-check bench-diff check check-smoke soak net-smoke clean
+.PHONY: all build test lint race bench bench-check bench-diff check check-smoke soak net-smoke net-chaos clean
 
 all: build
 
@@ -60,6 +60,13 @@ soak:
 # loopback (dr_download --transport net) and require the download to verify.
 net-smoke:
 	dune build @net-smoke
+
+# The same socket runs under seeded fault injection (dr_download --chaos):
+# dropped/corrupted/stalled transmissions, forced source disconnects, lost
+# replies and a source blackout — all masked below the protocols'
+# assumptions, so every run must still verify with the right verdict.
+net-chaos:
+	dune build @net-chaos
 
 clean:
 	dune clean

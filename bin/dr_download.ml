@@ -5,7 +5,9 @@
      dr_download -p crash-general -k 16 -n 4096 -t 5 --crash midcast:2 --latency jitter
      dr_download -p byz-committee -k 9 -n 1024 -t 4 --attack collude
      dr_download -p byz-2cycle -k 64 -n 8192 -t 8 --segments 4 --trace
-     dr_download -p crash-general -k 8 -n 2048 -t 2 --transport net *)
+     dr_download -p crash-general -k 8 -n 2048 -t 2 --transport net
+     dr_download -p byz-committee --model byzantine -k 9 -n 512 -t 4 \
+       --transport net --chaos 7:drop=0.05,corrupt=0.01,reply_loss=0.1 *)
 
 open Cmdliner
 open Dr_core
@@ -70,6 +72,10 @@ let net_timeout_arg =
        & info [ "net-timeout" ] ~docv:"SECONDS"
            ~doc:"With --transport net: wall-clock budget before stuck peers are killed.")
 
+let chaos_arg = Cli_args.chaos_arg
+let net_retries_arg = Cli_args.net_retries_arg
+let request_timeout_arg = Cli_args.request_timeout_arg
+
 let parse_source = function
   | None -> None
   | Some spec -> (
@@ -82,7 +88,27 @@ let parse_source = function
         }
     | None -> failwith ("--source expects HOST:PORT, got " ^ spec))
 
-let run_net ~protocol ~attack ~segments ~crash ~source ~timeout inst =
+let parse_chaos = function
+  | None -> None
+  | Some spec -> (
+    match Dr_net.Faultnet.parse_seeded spec with
+    | Ok (chaos_seed, plan) -> Some { Dr_net.Runner.chaos_seed; plan }
+    | Error msg -> failwith ("--chaos: " ^ msg))
+
+let client_config ~net_retries ~request_timeout =
+  match (net_retries, request_timeout) with
+  | None, None -> None
+  | _ ->
+    let d = Dr_net.Source_client.default_config in
+    Some
+      {
+        d with
+        Dr_net.Source_client.max_retries = Option.value net_retries ~default:d.max_retries;
+        request_timeout = Option.value request_timeout ~default:d.request_timeout;
+      }
+
+let run_net ~protocol ~attack ~segments ~crash ~source ~timeout ~chaos ~net_retries
+    ~request_timeout inst =
   let entry =
     match protocol with
     | "auto" ->
@@ -92,10 +118,21 @@ let run_net ~protocol ~attack ~segments ~crash ~source ~timeout inst =
   in
   let core = entry.Registry.core ~attack ?segments inst in
   let crash = Cli_args.crash_plan ~fault:inst.Problem.fault crash in
-  Dr_net.Runner.run ~timeout ?source:(parse_source source) ~crash core inst
+  Dr_net.Runner.run_detailed ~timeout ?source:(parse_source source)
+    ?chaos:(parse_chaos chaos)
+    ?client_cfg:(client_config ~net_retries ~request_timeout)
+    ~crash core inst
+
+let pp_outcomes outcomes =
+  Printf.printf "peers: %s\n"
+    (String.concat " "
+       (Array.to_list
+          (Array.mapi
+             (fun i o -> Printf.sprintf "%d:%s" i (Dr_net.Runner.outcome_to_string o))
+             outcomes)))
 
 let run protocol k n t model seed msg_bits latency crash attack segments trace_flag matrix_flag
-    trace_out explore transport source net_timeout =
+    trace_out explore transport source net_timeout chaos net_retries request_timeout =
   if t >= k then `Error (false, "need t < k")
   else if n < k then `Error (false, "need n >= k")
   else begin
@@ -120,10 +157,16 @@ let run protocol k n t model seed msg_bits latency crash attack segments trace_f
       else if explore <> None then
         `Error (false, "--explore drives the simulator's schedule arbiter; not available with --transport net")
       else begin
-        match run_net ~protocol ~attack ~segments ~crash ~source ~timeout:net_timeout inst with
+        match
+          run_net ~protocol ~attack ~segments ~crash ~source ~timeout:net_timeout ~chaos
+            ~net_retries ~request_timeout inst
+        with
         | exception (Registry.Unknown_attack _ as e) -> `Error (false, Printexc.to_string e)
-        | report ->
+        | exception Dr_net.Source_client.Unreachable msg -> `Error (false, msg)
+        | exception Failure msg -> `Error (false, msg)
+        | report, outcomes ->
           Format.printf "%a@." Problem.pp_report report;
+          pp_outcomes outcomes;
           if report.Problem.ok then `Ok () else `Error (false, "download failed")
       end
     | `Sim ->
@@ -193,7 +236,7 @@ let cmd =
         (const run $ protocol_arg $ peers_arg $ bits_arg $ faults_arg $ model_arg $ seed_arg
        $ msg_bits_arg $ latency_arg $ crash_arg $ attack_arg $ segments_arg $ trace_arg
        $ matrix_arg $ trace_out_arg $ explore_arg $ transport_arg $ source_arg
-       $ net_timeout_arg))
+       $ net_timeout_arg $ chaos_arg $ net_retries_arg $ request_timeout_arg))
   in
   Cmd.v
     (Cmd.info "dr_download" ~doc:"Run a distributed Download protocol in the simulator")

@@ -36,9 +36,10 @@ let run n k seed port =
     seed;
   Dr_net.Source_server.serve server;
   let per_peer = Dr_net.Source_server.stats server in
-  Printf.printf "queries per peer: [%s] total=%d\n%!"
+  Printf.printf "queries per peer: [%s] total=%d replays=%d\n%!"
     (String.concat "; " (Array.to_list (Array.map string_of_int per_peer)))
     (Dr_net.Source_server.total_queries server)
+    (Dr_net.Source_server.replay_hits server)
 
 let cmd =
   Cmd.v

@@ -45,6 +45,28 @@ let latency_fn ~seed ~fault ~b = function
   | "sized" -> Latency.size_proportional ~per_bit:(1. /. float_of_int b) ~floor:0.1
   | other -> failwith ("unknown latency policy: " ^ other)
 
+let chaos_doc =
+  "With --transport net: a seeded fault schedule SEED:SPEC, where SPEC is \
+   comma-separated clauses drop=P, corrupt=P, stall=DUR@pI, disconnect=peerI@msgJ, \
+   reply_loss=P, source_blackout=N@qJ (or DUR@tT). The same SEED:SPEC reproduces \
+   the identical fault schedule; faults are masked by the runtime and never \
+   change the verdict or Q."
+
+let chaos_arg =
+  Arg.(value & opt (some string) None & info [ "chaos" ] ~docv:"SEED:SPEC" ~doc:chaos_doc)
+
+let net_retries_arg =
+  Arg.(value & opt (some int) None
+       & info [ "net-retries" ] ~docv:"N"
+           ~doc:"With --transport net: reconnect attempts per source request before the \
+                 peer gives up as source-unreachable (default 8).")
+
+let request_timeout_arg =
+  Arg.(value & opt (some float) None
+       & info [ "request-timeout" ] ~docv:"SECONDS"
+           ~doc:"With --transport net: per-attempt deadline on each source request \
+                 (default 5; 0 = none).")
+
 let crash_doc =
   "Crash plan for crash-model faulty peers: none, silent, midcast:J, staggered, or afterq:J."
 

@@ -33,6 +33,18 @@ val latency_fn :
     messages arrive first), "sized" (transmission-time proportional under the
     message bound [b]). Raises [Failure] on anything else. *)
 
+val chaos_arg : string option Cmdliner.Term.t
+(** [--chaos SEED:SPEC], the {!Dr_net.Faultnet} fault-schedule grammar.
+    Parsed by the caller (via [Faultnet.parse_seeded]) so this module stays
+    free of a net dependency. *)
+
+val net_retries_arg : int option Cmdliner.Term.t
+(** [--net-retries], overriding [Source_client.default_config.max_retries]. *)
+
+val request_timeout_arg : float option Cmdliner.Term.t
+(** [--request-timeout], overriding
+    [Source_client.default_config.request_timeout]. *)
+
 val crash_arg : default:string -> string Cmdliner.Term.t
 
 val crash_plan : fault:Dr_adversary.Fault.t -> string -> Dr_adversary.Crash_plan.t

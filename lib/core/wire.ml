@@ -49,24 +49,66 @@ module Assembly = struct
   let received_parts t = Array.length t.have - t.missing
 end
 
-module Frame = struct
-  let header_len = 4
-  let max_payload = 1 lsl 26
+module Crc32 = struct
+  (* Reflected CRC-32 (IEEE 802.3 / zlib), polynomial 0xEDB88320. *)
+  (* dr-race: zone init-only — precomputed remainder table, never written after module init *)
+  let table =
+    Array.init 256 (fun n ->
+        let c = ref n in
+        for _ = 0 to 7 do
+          c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+        done;
+        !c)
 
-  let encode_header len =
+  let update crc byte = table.((crc lxor byte) land 0xff) lxor (crc lsr 8)
+
+  let bytes ?(off = 0) ?len b =
+    let len = match len with Some l -> l | None -> Bytes.length b - off in
+    if off < 0 || len < 0 || Int.compare (off + len) (Bytes.length b) > 0 then
+      invalid_arg "Wire.Crc32.bytes: bad range";
+    let c = ref 0xffffffff in
+    for i = off to off + len - 1 do
+      c := update !c (Bytes.get_uint8 b i)
+    done;
+    !c lxor 0xffffffff
+
+  let string s = bytes (Bytes.unsafe_of_string s)
+end
+
+module Frame = struct
+  let header_len = 12
+  let max_payload = 1 lsl 26
+  let magic = "DRF1"
+
+  type header_error = Short_header | Bad_magic | Length_out_of_range of int
+
+  let describe_header_error = function
+    | Short_header -> "short header"
+    | Bad_magic -> "bad magic (stream out of sync)"
+    | Length_out_of_range n -> Printf.sprintf "length %d outside [0, %d]" n max_payload
+
+  let put_be32 h off v =
+    Bytes.set_uint8 h off ((v lsr 24) land 0xff);
+    Bytes.set_uint8 h (off + 1) ((v lsr 16) land 0xff);
+    Bytes.set_uint8 h (off + 2) ((v lsr 8) land 0xff);
+    Bytes.set_uint8 h (off + 3) (v land 0xff)
+
+  let get_be32 h off =
+    let b i = Bytes.get_uint8 h (off + i) in
+    (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+
+  let encode_header ~len ~crc =
     if len < 0 || len > max_payload then invalid_arg "Wire.Frame.encode_header: bad length";
     let h = Bytes.create header_len in
-    Bytes.set_uint8 h 0 ((len lsr 24) land 0xff);
-    Bytes.set_uint8 h 1 ((len lsr 16) land 0xff);
-    Bytes.set_uint8 h 2 ((len lsr 8) land 0xff);
-    Bytes.set_uint8 h 3 (len land 0xff);
+    Bytes.blit_string magic 0 h 0 4;
+    put_be32 h 4 len;
+    put_be32 h 8 (crc land 0xffffffff);
     h
 
   let decode_header h =
-    if Bytes.length h < header_len then invalid_arg "Wire.Frame.decode_header: short header";
-    let b i = Bytes.get_uint8 h i in
-    let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
-    if len > max_payload then
-      invalid_arg (Printf.sprintf "Wire.Frame.decode_header: length %d exceeds cap" len);
-    len
+    if Bytes.length h < header_len then Error Short_header
+    else if not (String.equal (Bytes.sub_string h 0 4) magic) then Error Bad_magic
+    else
+      let len = get_be32 h 4 in
+      if len > max_payload then Error (Length_out_of_range len) else Ok (len, get_be32 h 8)
 end

@@ -33,23 +33,49 @@ module Assembly : sig
   val received_parts : t -> int
 end
 
+module Crc32 : sig
+  (** Reflected CRC-32 (IEEE 802.3 / zlib). Every socket frame carries the
+      checksum of its payload so that corruption — injected by {!Dr_net}'s
+      fault layer or real — surfaces as a typed decode error, never as
+      garbage handed to [Marshal]. *)
+
+  val bytes : ?off:int -> ?len:int -> bytes -> int
+  (** CRC of the byte range; defaults cover the whole buffer. Raises
+      [Invalid_argument] on an out-of-bounds range. *)
+
+  val string : string -> int
+end
+
 module Frame : sig
-  (** Pure header codec for the length-prefixed byte frames of the socket
-      transport ([Dr_net]): a 4-byte big-endian payload length. Kept here so
-      the encoding is defined (and unit-testable) without any [Unix]
-      dependency; [Dr_net.Frame] does the actual descriptor I/O. *)
+  (** Pure header codec for the framed byte streams of the socket transport
+      ([Dr_net]): a 4-byte magic, a 4-byte big-endian payload length and the
+      payload's big-endian {!Crc32}. Kept here so the encoding is defined
+      (and unit-testable) without any [Unix] dependency; [Dr_net.Frame] does
+      the actual descriptor I/O. *)
 
   val header_len : int
-  (** 4. *)
+  (** 12: magic, length, CRC. *)
 
   val max_payload : int
   (** Sanity cap on the decoded length (64 MiB) — a corrupt or hostile
       header fails fast instead of provoking a giant allocation. *)
 
-  val encode_header : int -> bytes
-  (** Raises [Invalid_argument] outside [0, max_payload]. *)
+  val magic : string
+  (** ["DRF1"]. *)
 
-  val decode_header : bytes -> int
-  (** Reads the first [header_len] bytes; raises [Invalid_argument] on a
-      short buffer or an over-cap length. *)
+  type header_error =
+    | Short_header
+    | Bad_magic  (** stream out of sync; the connection cannot be trusted *)
+    | Length_out_of_range of int
+        (** decoded length outside [0, max_payload] — reject {e before}
+            allocating *)
+
+  val describe_header_error : header_error -> string
+
+  val encode_header : len:int -> crc:int -> bytes
+  (** Raises [Invalid_argument] on a length outside [0, max_payload] (a
+      sender-side bug, unlike the typed receive errors). *)
+
+  val decode_header : bytes -> (int * int, header_error) result
+  (** [(len, crc)] from the first [header_len] bytes. *)
 end

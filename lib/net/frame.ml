@@ -1,31 +1,64 @@
 module Wire = Dr_core.Wire
 
+exception Corrupt of string
+exception Desync of string
+
+(* Restart a syscall interrupted by a signal: a stray SIGCHLD must never
+   surface as Unix_error(EINTR) and kill a peer mid-protocol. *)
+let rec eintr f x =
+  match f x with v -> v | exception Unix.Unix_error (Unix.EINTR, _, _) -> eintr f x
+
+let read_eintr fd buf off len = eintr (fun () -> Unix.read fd buf off len) ()
+let write_eintr fd buf off len = eintr (fun () -> Unix.write fd buf off len) ()
+
 let rec really_read fd buf off len =
   if len > 0 then begin
-    let r = Unix.read fd buf off len in
+    let r = read_eintr fd buf off len in
     if r = 0 then raise End_of_file;
     really_read fd buf (off + r) (len - r)
   end
 
 let rec write_all fd buf off len =
   if len > 0 then begin
-    let w = Unix.write fd buf off len in
+    let w = write_eintr fd buf off len in
     write_all fd buf (off + w) (len - w)
   end
 
 let send_bytes fd payload =
   let len = Bytes.length payload in
-  let header = Wire.Frame.encode_header len in
+  let header = Wire.Frame.encode_header ~len ~crc:(Wire.Crc32.bytes payload) in
   write_all fd header 0 (Bytes.length header);
   write_all fd payload 0 len
+
+let send_corrupted fd payload =
+  let len = Bytes.length payload in
+  (* The header carries the CRC of the *intended* payload, so the receiver
+     sees a well-framed message whose checksum fails: framing stays intact
+     and the corruption is detected, not interpreted. *)
+  let header = Wire.Frame.encode_header ~len ~crc:(Wire.Crc32.bytes payload) in
+  let garbled = Bytes.copy payload in
+  if len > 0 then Bytes.set_uint8 garbled (len / 2) (Bytes.get_uint8 payload (len / 2) lxor 0x55)
+  else Bytes.set_uint8 header (Wire.Frame.header_len - 1)
+         (Bytes.get_uint8 header (Wire.Frame.header_len - 1) lxor 0x55);
+  write_all fd header 0 (Bytes.length header);
+  write_all fd garbled 0 len
 
 let recv_bytes fd =
   let header = Bytes.create Wire.Frame.header_len in
   really_read fd header 0 (Bytes.length header);
-  let len = Wire.Frame.decode_header header in
-  let payload = Bytes.create len in
-  really_read fd payload 0 len;
-  payload
+  match Wire.Frame.decode_header header with
+  | Error ((Wire.Frame.Bad_magic | Wire.Frame.Length_out_of_range _) as e) ->
+    (* Either the stream is out of sync or the length cannot be trusted; in
+       both cases nothing after this header can be located. Refuse before
+       allocating anything. *)
+    raise (Desync (Wire.Frame.describe_header_error e))
+  | Error Wire.Frame.Short_header -> assert false (* we read header_len bytes *)
+  | Ok (len, crc) ->
+    let payload = Bytes.create len in
+    really_read fd payload 0 len;
+    if Wire.Crc32.bytes payload <> crc then
+      raise (Corrupt (Printf.sprintf "payload CRC mismatch (%d bytes)" len))
+    else payload
 
 let send_value fd v = send_bytes fd (Marshal.to_bytes v [])
 let recv_value fd = Marshal.from_bytes (recv_bytes fd) 0

@@ -2,6 +2,7 @@ module Prng = Dr_engine.Prng
 module Transport = Dr_core.Transport
 
 exception Crashed
+exception Link_lost
 
 (* A simple blocking queue: receiver threads push raw frames, the protocol
    thread pops them in [receive]. *)
@@ -24,7 +25,15 @@ module Bqueue = struct
     let v = Queue.pop t.q in
     Mutex.unlock t.m;
     v
+
+  let try_pop t =
+    Mutex.lock t.m;
+    let v = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+    Mutex.unlock t.m;
+    v
 end
+
+type inbox_item = Msg of int * bytes | Link_down of int
 
 type counters = {
   mutable msgs : int;
@@ -32,23 +41,28 @@ type counters = {
   mutable max_msg_bits : int;
   mutable wakeups : int;
   mutable queries : int;
+  mutable retrans : int;  (** injected-fault retransmissions on peer links *)
+  mutable corrupt_rx : int;  (** frames discarded by CRC on receive *)
 }
 
 type env = {
   me : int;
   k : int;
   links : Unix.file_descr option array;
-  inbox : (int * bytes) Bqueue.t;
+  inbox : inbox_item Bqueue.t;
   source : Source_client.t;
   prng : Prng.t;
   crash : Dr_engine.Sim.crash_spec;
+  chaos : Faultnet.t option;
   counters : counters;
   start : float;
+  mutable links_down : int;  (** links whose receiver has exited; protocol thread only *)
 }
 
-let make_counters () = { msgs = 0; bits = 0; max_msg_bits = 0; wakeups = 0; queries = 0 }
+let make_counters () =
+  { msgs = 0; bits = 0; max_msg_bits = 0; wakeups = 0; queries = 0; retrans = 0; corrupt_rx = 0 }
 
-let make_env ~me ~k ~links ~source ~prng ~crash =
+let make_env ~me ~k ~links ~source ~prng ~crash ?chaos () =
   {
     me;
     k;
@@ -57,20 +71,33 @@ let make_env ~me ~k ~links ~source ~prng ~crash =
     source;
     prng;
     crash;
+    chaos;
     counters = make_counters ();
     start = Unix.gettimeofday ();
+    links_down = 0;
   }
+
+let open_links env =
+  Array.fold_left (fun n l -> if Option.is_some l then n + 1 else n) 0 env.links
 
 (* Feed one peer link into the inbox until the remote end closes. Runs on
    its own thread; [Marshal] decoding happens on the protocol thread (in
-   [receive]), keyed by the protocol's own message type. *)
+   [receive]), keyed by the protocol's own message type. A frame whose CRC
+   fails is counted and dropped — the stream stays in sync and the sender's
+   fault layer retransmits — while a desynchronized or closed stream
+   retires the link with a [Link_down] sentinel so blocked receivers can
+   learn the topology shrank. *)
 let receiver env ~src fd =
   let rec loop () =
     match Frame.recv_bytes fd with
     | payload ->
-      Bqueue.push env.inbox (src, payload);
+      Bqueue.push env.inbox (Msg (src, payload));
       loop ()
-    | exception (End_of_file | Unix.Unix_error _) -> ()
+    | exception Frame.Corrupt _ ->
+      env.counters.corrupt_rx <- env.counters.corrupt_rx + 1;
+      loop ()
+    | exception (End_of_file | Unix.Unix_error _ | Frame.Desync _) ->
+      Bqueue.push env.inbox (Link_down src)
   in
   loop ()
 
@@ -82,6 +109,12 @@ let start_receivers env =
       | None -> ())
     env.links
 
+(* Pacing between injected-fault retransmissions: fixed small backoff,
+   doubling and capped — wall-clock only, never protocol-visible. *)
+let retrans_delay attempt =
+  let d = 0.0005 *. (2. ** float_of_int (min attempt 6)) in
+  Thread.delay d
+
 module Make (M : Transport.MSG) (E : sig
   val env : env
 end) : Transport.S with type msg = M.t = struct
@@ -90,6 +123,25 @@ end) : Transport.S with type msg = M.t = struct
   let e = E.env
   let me () = e.me
   let peer_count () = e.k
+
+  let transmit fd payload =
+    match e.chaos with
+    | None -> Frame.send_bytes fd payload
+    | Some c ->
+      let a = Faultnet.on_send c in
+      if a.Faultnet.stall > 0. then Thread.delay a.Faultnet.stall;
+      for i = 0 to a.Faultnet.pre_drops - 1 do
+        (* The attempt is dropped before reaching the wire; all the sender
+           observes is the retransmission pause. *)
+        e.counters.retrans <- e.counters.retrans + 1;
+        retrans_delay i
+      done;
+      if a.Faultnet.corrupt_first then begin
+        Frame.send_corrupted fd payload;
+        e.counters.retrans <- e.counters.retrans + 1;
+        retrans_delay 0
+      end;
+      Frame.send_bytes fd payload
 
   let send dst m =
     (match e.crash with
@@ -104,7 +156,7 @@ end) : Transport.S with type msg = M.t = struct
       (* A peer that already terminated may have closed its end; like the
          simulator, which drops deliveries to finished peers, treat that as
          a successful (lost) send. *)
-      try Frame.send_bytes fd (Marshal.to_bytes m [])
+      try transmit fd (Marshal.to_bytes m [])
       with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ())
     | None -> invalid_arg "Net_transport.send: bad destination"
 
@@ -115,7 +167,21 @@ end) : Transport.S with type msg = M.t = struct
 
   let receive () =
     e.counters.wakeups <- e.counters.wakeups + 1;
-    let src, payload = Bqueue.pop e.inbox in
+    let rec next () =
+      if e.links_down >= open_links e then
+        (* Every receiver thread has exited, so nothing can be pushed
+           anymore: drain what is left, then report the partition. *)
+        match Bqueue.try_pop e.inbox with
+        | Some (Msg (src, payload)) -> (src, payload)
+        | Some (Link_down _) | None -> raise Link_lost
+      else
+        match Bqueue.pop e.inbox with
+        | Msg (src, payload) -> (src, payload)
+        | Link_down _ ->
+          e.links_down <- e.links_down + 1;
+          next ()
+    in
+    let src, payload = next () in
     (src, (Marshal.from_bytes payload 0 : M.t))
 
   let query i =

@@ -2,15 +2,25 @@
 
     One peer = one OS process; every peer link is a TCP connection carrying
     {!Frame}s of [Marshal]-encoded protocol messages; [query] is a blocking
-    round-trip to the {!Source_server}. Per-link receiver threads feed a
-    blocking inbox so [receive] has the same "next delivered message"
-    semantics as the simulator.
+    round-trip to the {!Source_server} through the retrying
+    {!Source_client}. Per-link receiver threads feed a blocking inbox so
+    [receive] has the same "next delivered message" semantics as the
+    simulator.
 
     Crash injection honours the event-counted {!Dr_engine.Sim.crash_spec}s:
     [After_sends j] raises {!Crashed} on the (j+1)-th send attempt (the
     message is lost), [After_queries j] right after the j-th query's reply.
     [At_time] is rejected upstream by {!Runner} — wall-clock crash times are
     not meaningful in an asynchronous run.
+
+    Fault injection ({!Faultnet}) sits below the reliability the protocols
+    assume: a send may stall, be dropped (and silently retransmitted after a
+    pause) or first go out with a flipped bit (the receiver discards it by
+    CRC and the good copy follows) — the protocol still sees exactly one
+    logical delivery, charged once to the M meter. A receiver thread whose
+    link dies retires it with a sentinel; once every link is down and the
+    inbox is drained, [receive] raises {!Link_lost} instead of blocking
+    forever, so the runner can classify the peer's outcome.
 
     The peer's random stream reproduces the simulator's discipline: the
     (me+1)-th [Prng.split] of [Prng.create seed], so protocol coin flips
@@ -21,13 +31,20 @@ exception Crashed
     output. Protocol code must not catch it. [die] raises
     {!Dr_engine.Sim.Halted}, as on the simulator. *)
 
+exception Link_lost
+(** Raised by [receive] when every peer link is down and no queued message
+    remains — the peer is partitioned and can never be woken again. *)
+
 module Bqueue : sig
   type 'a t
 
   val create : unit -> 'a t
   val push : 'a t -> 'a -> unit
   val pop : 'a t -> 'a
+  val try_pop : 'a t -> 'a option
 end
+
+type inbox_item = Msg of int * bytes | Link_down of int
 
 type counters = {
   mutable msgs : int;
@@ -35,18 +52,24 @@ type counters = {
   mutable max_msg_bits : int;
   mutable wakeups : int;
   mutable queries : int;
+  mutable retrans : int;
+      (** injected-fault retransmissions on peer links (drops + corrupted
+          first copies) — infrastructure traffic, not charged to [msgs] *)
+  mutable corrupt_rx : int;  (** received frames discarded by CRC *)
 }
 
 type env = {
   me : int;
   k : int;
   links : Unix.file_descr option array;  (** [links.(me) = None] *)
-  inbox : (int * bytes) Bqueue.t;
+  inbox : inbox_item Bqueue.t;
   source : Source_client.t;
   prng : Dr_engine.Prng.t;
   crash : Dr_engine.Sim.crash_spec;
+  chaos : Faultnet.t option;
   counters : counters;
   start : float;
+  mutable links_down : int;
 }
 
 val make_env :
@@ -56,6 +79,8 @@ val make_env :
   source:Source_client.t ->
   prng:Dr_engine.Prng.t ->
   crash:Dr_engine.Sim.crash_spec ->
+  ?chaos:Faultnet.t ->
+  unit ->
   env
 
 val start_receivers : env -> unit

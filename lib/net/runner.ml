@@ -4,6 +4,25 @@ module Bitarray = Dr_source.Bitarray
 module Prng = Dr_engine.Prng
 
 type source = { host : string; port : int }
+type chaos = { chaos_seed : int64; plan : Faultnet.plan }
+
+type outcome =
+  | Completed
+  | Crashed
+  | Link_lost
+  | Source_unreachable
+  | Timed_out
+  | Corrupt_frame
+  | Failed of string
+
+let outcome_to_string = function
+  | Completed -> "completed"
+  | Crashed -> "crashed"
+  | Link_lost -> "link-lost"
+  | Source_unreachable -> "source-unreachable"
+  | Timed_out -> "timed-out"
+  | Corrupt_frame -> "corrupt-frame"
+  | Failed msg -> "failed(" ^ msg ^ ")"
 
 type child_result = {
   output : Bitarray.t option;
@@ -11,11 +30,36 @@ type child_result = {
   bits : int;
   max_msg_bits : int;
   wakeups : int;
-  error : string option;
+  retrans : int;
+  corrupt_rx : int;
+  outcome : outcome;
 }
 
-let failed_result error =
-  { output = None; msgs = 0; bits = 0; max_msg_bits = 0; wakeups = 0; error = Some error }
+let failed_result outcome =
+  {
+    output = None;
+    msgs = 0;
+    bits = 0;
+    max_msg_bits = 0;
+    wakeups = 0;
+    retrans = 0;
+    corrupt_rx = 0;
+    outcome;
+  }
+
+(* Classify a peer-fatal exception into the failure taxonomy. Injected
+   crashes and voluntary halts are expected protocol behaviour; everything
+   else names the infrastructure component that gave out. *)
+let classify = function
+  | Net_transport.Crashed | Dr_engine.Sim.Halted -> Crashed
+  | Net_transport.Link_lost -> Link_lost
+  | Source_client.Unreachable _ -> Source_unreachable
+  | Frame.Corrupt _ | Frame.Desync _ -> Corrupt_frame
+  | e -> Failed (Printexc.to_string e)
+
+(* Restart syscalls interrupted by signals (the parent gets SIGCHLD-adjacent
+   noise from k children; a stray signal must not abort supervision). *)
+let rec eintr f = match f () with v -> v | exception Unix.Unix_error (Unix.EINTR, _, _) -> eintr f
 
 (* The peer's private random stream: the (me+1)-th split of the master —
    identical to the simulator's per-peer assignment, so randomized protocol
@@ -49,13 +93,13 @@ let build_mesh ~me ~k ~listeners ~ports =
   Array.iteri (fun j fd -> if j <> me then close_quietly fd) listeners;
   for j = 0 to me - 1 do
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, ports.(j)));
+    eintr (fun () -> Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, ports.(j))));
     Unix.setsockopt fd Unix.TCP_NODELAY true;
     Frame.send_value fd (me : int);
     links.(j) <- Some fd
   done;
   for _ = me + 1 to k - 1 do
-    let fd, _ = Unix.accept listeners.(me) in
+    let fd, _ = eintr (fun () -> Unix.accept listeners.(me)) in
     Unix.setsockopt fd Unix.TCP_NODELAY true;
     match (Frame.recv_value fd : int) with
     | j when j > me && j < k && links.(j) = None -> links.(j) <- Some fd
@@ -65,14 +109,22 @@ let build_mesh ~me ~k ~listeners ~ports =
   links
 
 let child_main (module C : Transport.CORE) ~inst ~me ~host ~source_port ~listeners ~ports
-    ~crash_spec =
+    ~crash_spec ~chaos ~client_cfg =
   let k = inst.Problem.k in
-  let source = Source_client.connect ~host ~port:source_port ~peer:me () in
+  let injector =
+    match chaos with
+    | Some { chaos_seed; plan } when not (Faultnet.is_none plan) ->
+      Some (Faultnet.make ~seed:chaos_seed ~peer:me plan)
+    | _ -> None
+  in
+  let source =
+    Source_client.connect ~host ~port:source_port ~peer:me ~cfg:client_cfg ?chaos:injector ()
+  in
   let links = build_mesh ~me ~k ~listeners ~ports in
   let env =
     Net_transport.make_env ~me ~k ~links ~source
       ~prng:(peer_prng ~seed:inst.Problem.seed me)
-      ~crash:crash_spec
+      ~crash:crash_spec ?chaos:injector ()
   in
   Net_transport.start_receivers env;
   let module T =
@@ -83,11 +135,10 @@ let child_main (module C : Transport.CORE) ~inst ~me ~host ~source_port ~listene
       end)
   in
   let module P = C.Process (T) in
-  let output, error =
+  let output, outcome =
     match P.run inst me with
-    | y -> (Some y, None)
-    | exception (Net_transport.Crashed | Dr_engine.Sim.Halted) -> (None, None)
-    | exception e -> (None, Some (Printexc.to_string e))
+    | y -> (Some y, Completed)
+    | exception e -> (None, classify e)
   in
   let c = env.Net_transport.counters in
   let result =
@@ -97,27 +148,41 @@ let child_main (module C : Transport.CORE) ~inst ~me ~host ~source_port ~listene
       bits = c.Net_transport.bits;
       max_msg_bits = c.Net_transport.max_msg_bits;
       wakeups = c.Net_transport.wakeups;
-      error;
+      retrans = c.Net_transport.retrans;
+      corrupt_rx = c.Net_transport.corrupt_rx;
+      outcome;
     }
   in
   Array.iter (function Some fd -> close_quietly fd | None -> ()) links;
   Source_client.close source;
   result
 
-let collect_results ~k ~deadline read_ends =
+(* Supervise the k result pipes until every child has reported, died, or the
+   deadline passed. A child that exits without reporting surfaces as an
+   immediate pipe EOF — classified via [waitpid], not waited out. *)
+let collect_results ~k ~deadline ~pids read_ends =
   let results = Array.make k None in
   let pending = ref (Array.to_list (Array.mapi (fun i fd -> (i, fd)) read_ends)) in
   let now = Unix.gettimeofday in
+  let dead_without_report i =
+    match eintr (fun () -> Unix.waitpid [ Unix.WNOHANG ] pids.(i)) with
+    | 0, _ -> Failed "peer process died without reporting"
+    | _, Unix.WSIGNALED sg -> Failed (Printf.sprintf "peer process killed by signal %d" sg)
+    | _, Unix.WEXITED code when code <> 0 ->
+      Failed (Printf.sprintf "peer process exited with code %d" code)
+    | _, _ -> Failed "peer process died without reporting"
+    | exception Unix.Unix_error _ -> Failed "peer process died without reporting"
+  in
   while !pending <> [] && now () < deadline do
     let fds = List.map snd !pending in
-    let ready, _, _ = Unix.select fds [] [] (max 0.01 (deadline -. now ())) in
+    let ready, _, _ = eintr (fun () -> Unix.select fds [] [] (max 0.01 (deadline -. now ()))) in
     pending :=
       List.filter
         (fun (i, fd) ->
           if List.mem fd ready then begin
             (match (Frame.recv_value fd : child_result) with
             | r -> results.(i) <- Some r
-            | exception _ -> results.(i) <- Some (failed_result "result channel closed"));
+            | exception _ -> results.(i) <- Some (failed_result (dead_without_report i)));
             false
           end
           else true)
@@ -125,8 +190,8 @@ let collect_results ~k ~deadline read_ends =
   done;
   results
 
-let run ?(timeout = 60.) ?source ?(crash = Dr_adversary.Crash_plan.none)
-    (module C : Transport.CORE) inst =
+let run_detailed ?(timeout = 60.) ?source ?(crash = Dr_adversary.Crash_plan.none) ?chaos
+    ?(client_cfg = Source_client.default_config) (module C : Transport.CORE) inst =
   (match C.supports inst with
   | Ok () -> ()
   | Error e -> failwith (C.name ^ ": " ^ e));
@@ -150,9 +215,12 @@ let run ?(timeout = 60.) ?source ?(crash = Dr_adversary.Crash_plan.none)
       Source_server.start s;
       (Some s, "127.0.0.1", Source_server.port s)
   in
-  let control = Source_client.connect ~host ~port:source_port ~peer:Source_proto.control_peer () in
+  let control =
+    Source_client.connect ~host ~port:source_port ~peer:Source_proto.control_peer
+      ~cfg:client_cfg ()
+  in
   (* Stats are deltas so an external long-running server works too. *)
-  let base_stats, _ = Source_client.stats control in
+  let base_stats, _, _ = Source_client.stats control in
   let listeners_ports = Array.init k (fun _ -> listener ()) in
   let listeners = Array.map fst listeners_ports in
   let ports = Array.map snd listeners_ports in
@@ -175,8 +243,8 @@ let run ?(timeout = 60.) ?source ?(crash = Dr_adversary.Crash_plan.none)
                  child_main
                    (module C)
                    ~inst ~me:i ~host ~source_port ~listeners ~ports
-                   ~crash_spec:crash_specs.(i)
-               with e -> failed_result (Printexc.to_string e)
+                   ~crash_spec:crash_specs.(i) ~chaos ~client_cfg
+               with e -> failed_result (classify e)
              in
              Frame.send_value (snd pipes.(i)) result
            with _ -> ());
@@ -186,18 +254,18 @@ let run ?(timeout = 60.) ?source ?(crash = Dr_adversary.Crash_plan.none)
   Array.iter close_quietly listeners;
   Array.iter (fun (_, w) -> close_quietly w) pipes;
   let read_ends = Array.map fst pipes in
-  let results = collect_results ~k ~deadline:(t0 +. timeout) read_ends in
+  let results = collect_results ~k ~deadline:(t0 +. timeout) ~pids read_ends in
   Array.iter close_quietly read_ends;
   Array.iter
     (fun pid ->
-      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      match eintr (fun () -> Unix.waitpid [ Unix.WNOHANG ] pid) with
       | 0, _ ->
         (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
-        ignore (Unix.waitpid [] pid)
+        ignore (eintr (fun () -> Unix.waitpid [] pid))
       | _ -> ()
       | exception Unix.Unix_error _ -> ())
     pids;
-  let final_stats, _ = Source_client.stats control in
+  let final_stats, _, _ = Source_client.stats control in
   (match server with
   | Some s ->
     Source_client.shutdown control;
@@ -206,15 +274,19 @@ let run ?(timeout = 60.) ?source ?(crash = Dr_adversary.Crash_plan.none)
   Source_client.close control;
   let time = Unix.gettimeofday () -. t0 in
   ignore (Sys.signal Sys.sigpipe prev_sigpipe);
+  let outcomes =
+    Array.init k (fun i ->
+        match results.(i) with Some r -> r.outcome | None -> Timed_out)
+  in
   (* Report errors that are neither injected crashes nor voluntary halts. *)
   Array.iteri
-    (fun i r ->
-      match r with
-      | Some { error = Some e; _ } ->
+    (fun i o ->
+      match o with
+      | Failed e ->
         (* dr-lint: allow L3 — a child process died unexpectedly; stderr is the only channel left *)
         Printf.eprintf "dr_net: peer %d failed: %s\n%!" i e (* dr-race: allow R3 — single-domain net runtime; same justification as the L3 waiver *)
       | _ -> ())
-    results;
+    outcomes;
   let honest = Problem.honest inst in
   let wrong = ref [] in
   let timed_out = ref [] in
@@ -227,34 +299,38 @@ let run ?(timeout = 60.) ?source ?(crash = Dr_adversary.Crash_plan.none)
       q_total := !q_total + q;
       if q > !q_max then q_max := q;
       match results.(i) with
-      | Some { output = Some y; msgs = m; bits = b; max_msg_bits = mb; wakeups = w; _ } ->
+      | Some { output; msgs = m; bits = b; max_msg_bits = mb; wakeups = w; _ } ->
         msgs := !msgs + m;
         bits := !bits + b;
         if mb > !max_msg_bits then max_msg_bits := mb;
         if w > !wakeups_max then wakeups_max := w;
-        if not (Bitarray.equal y inst.Problem.x) then wrong := i :: !wrong
-      | Some { output = None; msgs = m; bits = b; max_msg_bits = mb; wakeups = w; _ } ->
-        msgs := !msgs + m;
-        bits := !bits + b;
-        if mb > !max_msg_bits then max_msg_bits := mb;
-        if w > !wakeups_max then wakeups_max := w;
-        wrong := i :: !wrong
+        (match output with
+        | Some y -> if not (Bitarray.equal y inst.Problem.x) then wrong := i :: !wrong
+        | None -> wrong := i :: !wrong)
       | None ->
         timed_out := i :: !timed_out;
         wrong := i :: !wrong
     end
   done;
-  {
-    Problem.protocol = C.name;
-    ok = !wrong = [];
-    wrong = !wrong;
-    q_max = !q_max;
-    q_mean = (if !honest_count = 0 then 0. else float_of_int !q_total /. float_of_int !honest_count);
-    q_total = !q_total;
-    msgs = !msgs;
-    bits_sent = !bits;
-    max_msg_bits = !max_msg_bits;
-    time;
-    wakeups_max = !wakeups_max;
-    status = (if !timed_out = [] then Dr_engine.Sim.Completed else Dr_engine.Sim.Deadlock !timed_out);
-  }
+  let report =
+    {
+      Problem.protocol = C.name;
+      ok = !wrong = [];
+      wrong = !wrong;
+      q_max = !q_max;
+      q_mean =
+        (if !honest_count = 0 then 0. else float_of_int !q_total /. float_of_int !honest_count);
+      q_total = !q_total;
+      msgs = !msgs;
+      bits_sent = !bits;
+      max_msg_bits = !max_msg_bits;
+      time;
+      wakeups_max = !wakeups_max;
+      status =
+        (if !timed_out = [] then Dr_engine.Sim.Completed else Dr_engine.Sim.Deadlock !timed_out);
+    }
+  in
+  (report, outcomes)
+
+let run ?timeout ?source ?crash ?chaos ?client_cfg core inst =
+  fst (run_detailed ?timeout ?source ?crash ?chaos ?client_cfg core inst)

@@ -1,11 +1,21 @@
-(** Run a transport-generic protocol core as [k] real OS processes.
+(** Run a transport-generic protocol core as [k] real OS processes, under
+    supervision.
 
     The runner forks one child per peer; children wire themselves into a
     full TCP mesh over loopback (ports are bound by the parent before
     forking, so there is no registration round), connect to the data-source
-    server, and execute [Core.Process(Net_transport).run]. Each child ships
-    its output array and message counters back over a pipe; the paper's Q is
-    read from the {e server's} per-peer accounting, the authoritative meter.
+    server through the retrying {!Source_client}, and execute
+    [Core.Process(Net_transport).run]. Each child ships its output array,
+    message counters and a {!outcome} classification back over a pipe; the
+    paper's Q is read from the {e server's} per-peer accounting, the
+    authoritative meter (whose replay cache guarantees transport retries are
+    charged exactly once).
+
+    Supervision: the parent watches all result pipes together; a child that
+    dies without reporting is detected by pipe EOF and classified through
+    [waitpid] immediately, not waited out, and every supervision syscall
+    restarts on [EINTR]. Peers missing at the deadline are killed and
+    reported [Timed_out].
 
     The resulting {!Dr_core.Problem.report} has the same correctness verdict
     semantics as the simulator path ([Exec.finish]): [ok] iff every honest
@@ -17,10 +27,28 @@
 
 type source = { host : string; port : int }
 
+type chaos = { chaos_seed : int64; plan : Faultnet.plan }
+(** A {!Faultnet} fault schedule: each child draws its own deterministic
+    stream from [chaos_seed], so the same [{chaos_seed; plan}] reproduces
+    the identical fault schedule on every run. *)
+
+type outcome =
+  | Completed  (** the peer process returned an output (possibly wrong) *)
+  | Crashed  (** injected crash ([After_sends]/[After_queries]) or [die ()] *)
+  | Link_lost  (** every peer link went down; [receive] could never return *)
+  | Source_unreachable  (** source retry budget exhausted *)
+  | Timed_out  (** no report by the deadline; the child was killed *)
+  | Corrupt_frame  (** an unrecoverable corrupt/desynchronized stream *)
+  | Failed of string  (** anything else, verbatim *)
+
+val outcome_to_string : outcome -> string
+
 val run :
   ?timeout:float ->
   ?source:source ->
   ?crash:Dr_adversary.Crash_plan.t ->
+  ?chaos:chaos ->
+  ?client_cfg:Source_client.config ->
   (module Dr_core.Transport.CORE) ->
   Dr_core.Problem.instance ->
   Dr_core.Problem.report
@@ -28,7 +56,23 @@ val run :
     children are killed and reported in a [Deadlock] status; [source] — a
     {!Source_server} spawned in-process for the instance's array (pass an
     address to use an external [dr_source_server], whose query counters are
-    then read as deltas); [crash] — no crashes. Raises [Failure] when the
-    core rejects the instance ([supports]) or the crash plan contains an
-    [At_time] spec (wall-clock crash instants are not meaningful here — use
-    the event-counted specs). *)
+    then read as deltas); [crash] — no crashes; [chaos] — no injected
+    faults; [client_cfg] — {!Source_client.default_config}. Raises
+    [Failure] when the core rejects the instance ([supports]) or the crash
+    plan contains an [At_time] spec (wall-clock crash instants are not
+    meaningful here — use the event-counted specs), and
+    {!Source_client.Unreachable} when an external source cannot be reached
+    at all. *)
+
+val run_detailed :
+  ?timeout:float ->
+  ?source:source ->
+  ?crash:Dr_adversary.Crash_plan.t ->
+  ?chaos:chaos ->
+  ?client_cfg:Source_client.config ->
+  (module Dr_core.Transport.CORE) ->
+  Dr_core.Problem.instance ->
+  Dr_core.Problem.report * outcome array
+(** Like {!run}, also returning each peer's {!outcome} (indexed by peer id,
+    faulty peers included) — the failure taxonomy behind the report's flat
+    [wrong] list. *)

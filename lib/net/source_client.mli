@@ -1,22 +1,56 @@
 (** Client side of the {!Source_server} service: one connection, one peer
-    identity, blocking request/response. *)
+    identity, blocking request/response — hardened against a slow or
+    transiently unreachable source.
+
+    Every request runs under a per-attempt deadline; a timeout, connection
+    loss or corrupt frame tears the connection down and the request is
+    retried over a fresh connection after a capped exponential backoff with
+    PRNG jitter, up to [max_retries] reconnects (then {!Unreachable}).
+    Queries carry a monotonically-increasing sequence number, so a retry of
+    a request the server already processed is answered from the server's
+    replay cache and charged to the peer's Q meter exactly once. *)
+
+exception Unreachable of string
+(** The source could not be reached (or a request could not complete)
+    within the configured retry budget. *)
+
+type config = {
+  request_timeout : float;  (** per-attempt deadline in seconds; [0.] = none *)
+  max_retries : int;  (** reconnect attempts per request *)
+  backoff_base : float;  (** first backoff, seconds *)
+  backoff_cap : float;  (** backoff ceiling, seconds *)
+}
+
+val default_config : config
+(** 5 s deadline, 8 retries, backoff 0.05 s doubling up to 1 s. *)
 
 type t
 
-val connect : ?host:string -> port:int -> peer:int -> unit -> t
-(** Connect and send [Hello peer]. [peer = Source_proto.control_peer] opens
-    an accounting/control connection. *)
+val connect :
+  ?host:string -> port:int -> peer:int -> ?cfg:config -> ?chaos:Faultnet.t -> unit -> t
+(** Connect (eagerly, with the retry discipline above) and send
+    [Hello peer]. [peer = Source_proto.control_peer] opens an
+    accounting/control connection. [chaos] injects the {!Faultnet} fault
+    schedule into every subsequent query. Raises {!Unreachable}. *)
 
 val query : t -> int -> bool
-(** [Query(i)]. Raises [Failure] on a server-side error. *)
+(** [Query(i)], retried across reconnects under one sequence number.
+    Raises [Failure] on a server-side error, {!Unreachable} on retry
+    exhaustion. *)
 
 val describe : t -> int * int
 (** [(n, k)] of the served instance. *)
 
-val stats : t -> int array * int
-(** [(per_peer, total)] query counters. *)
+val stats : t -> int array * int * int
+(** [(per_peer, total, replay_hits)] query counters. *)
 
 val shutdown : t -> unit
-(** Ask the server to stop (control connections). *)
+(** Ask the server to stop (control connections). Not retried. *)
+
+val reconnects : t -> int
+(** Connections re-established since [connect] returned. *)
+
+val sequence : t -> int
+(** Highest query sequence number issued so far. *)
 
 val close : t -> unit

@@ -1,13 +1,13 @@
 type request =
   | Hello of int
-  | Query of int
+  | Query of { seq : int; index : int }
   | Stats
   | Describe
   | Shutdown
 
 type response =
   | Bit of bool
-  | Stats_reply of { per_peer : int array; total : int }
+  | Stats_reply of { per_peer : int array; total : int; replays : int }
   | Description of { n : int; k : int }
   | Bye
   | Err of string

@@ -3,20 +3,33 @@
     One {!Frame} per value, [Marshal]-encoded. A connection starts with a
     single [Hello peer] identifying the querying peer (queries on that
     connection are charged to it), followed by any number of requests, each
-    answered with exactly one response. *)
+    answered with exactly one response.
+
+    Queries carry a per-peer sequence number that increases monotonically
+    across {e reconnects}: a client that loses a connection (or a reply)
+    retries the same request under the same [seq], and the server answers a
+    [seq] it has already processed from its replay cache {e without
+    consulting the data source again} — so transport retries can never
+    inflate the paper's Q meter. *)
 
 type request =
   | Hello of int
       (** peer id in [0, k); {!control_peer} opens an accounting/control
           connection that may not query *)
-  | Query of int  (** the model's [Query(i)]: read bit [i] of the input *)
+  | Query of { seq : int; index : int }
+      (** the model's [Query(i)]: read bit [index] of the input. [seq] is
+          the peer's monotonically-increasing request number; a repeat of
+          the last processed [seq] is answered from the replay cache and
+          charged nothing, a [seq] older than that is a protocol error. *)
   | Stats  (** per-peer query counters *)
   | Describe  (** the served instance's dimensions *)
   | Shutdown  (** stop the server (control connections only) *)
 
 type response =
   | Bit of bool
-  | Stats_reply of { per_peer : int array; total : int }
+  | Stats_reply of { per_peer : int array; total : int; replays : int }
+      (** [replays] counts queries answered from the replay cache — retries
+          that were {e not} charged to any peer's meter *)
   | Description of { n : int; k : int }
   | Bye  (** acknowledges [Shutdown] *)
   | Err of string  (** protocol violation or out-of-range argument *)

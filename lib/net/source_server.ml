@@ -6,6 +6,11 @@ type t = {
   lsock : Unix.file_descr;
   port : int;
   lock : Mutex.t;
+  replay : (int * Source_proto.response) option array;
+      (* per peer: last processed Query seq and its response. Sequence
+         numbers increase monotonically per peer, and a retry always
+         re-sends the highest one, so one slot per peer suffices. *)
+  mutable replays : int;
   mutable stopping : bool;
   mutable accepter : Thread.t option;
 }
@@ -26,6 +31,8 @@ let create ?(addr = Unix.inet_addr_loopback) ?(port = 0) ~k x =
     lsock;
     port;
     lock = Mutex.create ();
+    replay = Array.make (max k 1) None;
+    replays = 0;
     stopping = false;
     accepter = None;
   }
@@ -40,10 +47,30 @@ let stats t =
   locked t (fun () -> Array.init t.k (Data_source.queries_by t.source))
 
 let total_queries t = locked t (fun () -> Data_source.total_queries t.source)
+let replay_hits t = locked t (fun () -> t.replays)
 
-(* One thread per connection; every query is answered through the metered
-   Data_source under the server lock — this call is the net runtime's whole
-   Q-accounting boundary (lint rule L4 confines [Data_source.query] here). *)
+(* Answer one Query under the lock: either replay the cached response for a
+   sequence number already processed (a transport retry — charged nothing),
+   or consult the metered Data_source and cache the result. This call is the
+   net runtime's whole Q-accounting boundary (lint rule L4 confines
+   [Data_source.query] here). *)
+let answer_query t ~peer ~seq ~index : Source_proto.response =
+  locked t (fun () ->
+      match t.replay.(peer) with
+      | Some (s, cached) when Int.equal s seq ->
+        t.replays <- t.replays + 1;
+        cached
+      | Some (s, _) when seq < s ->
+        Source_proto.Err (Printf.sprintf "stale sequence %d (last processed %d)" seq s)
+      | _ ->
+        let resp : Source_proto.response =
+          match Data_source.query t.source ~peer index with
+          | v -> Bit v
+          | exception Invalid_argument e -> Err e
+        in
+        t.replay.(peer) <- Some (seq, resp);
+        resp)
+
 let handle t fd =
   (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
   let reply (r : Source_proto.response) = Frame.send_value fd r in
@@ -52,17 +79,14 @@ let handle t fd =
      | Hello peer when peer >= -1 && peer < t.k ->
        let rec loop () =
          match (Frame.recv_value fd : Source_proto.request) with
-         | Query i ->
+         | Query { seq; index } ->
            (if peer < 0 then reply (Err "control connection cannot query")
-            else
-              match locked t (fun () -> Data_source.query t.source ~peer i) with
-              | v -> reply (Bit v)
-              | exception Invalid_argument e -> reply (Err e));
+            else reply (answer_query t ~peer ~seq ~index));
            loop ()
          | Stats ->
            reply
              (Stats_reply
-                { per_peer = stats t; total = total_queries t });
+                { per_peer = stats t; total = total_queries t; replays = replay_hits t });
            loop ()
          | Describe ->
            reply (Description { n = Data_source.n t.source; k = t.k });
@@ -75,7 +99,7 @@ let handle t fd =
        loop ()
      | Hello _ -> reply (Err "peer id out of range")
      | _ -> reply (Err "expected Hello")
-   with End_of_file | Unix.Unix_error _ -> ());
+   with End_of_file | Unix.Unix_error _ | Frame.Corrupt _ | Frame.Desync _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let serve t =
@@ -88,6 +112,7 @@ let serve t =
           ignore (Thread.create (fun () -> handle t fd) ());
           loop ()
         end
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
       | exception Unix.Unix_error _ -> ()
     end
   in

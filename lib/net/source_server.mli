@@ -3,7 +3,13 @@
     Serves one input array to [k] peers with per-peer query accounting —
     the socket-transport incarnation of {!Dr_source.Data_source} (which it
     wraps; the paper's Q is read off {!stats}). Thread-per-connection;
-    connections speak {!Source_proto} in {!Frame}s. *)
+    connections speak {!Source_proto} in {!Frame}s.
+
+    Queries are answered through a per-peer replay cache keyed on the
+    client's monotonically-increasing sequence number: a retried [Query]
+    (after a reconnect or a lost reply) returns the cached response and is
+    charged to the peer's meter {e exactly once} — transport faults can
+    never inflate the paper's central cost metric. *)
 
 type t
 
@@ -30,3 +36,6 @@ val stats : t -> int array
 (** Queries charged to each peer so far. *)
 
 val total_queries : t -> int
+
+val replay_hits : t -> int
+(** Queries answered from the replay cache (retries charged to no meter). *)

@@ -42,3 +42,26 @@ The adaptive adversary (corrupts observed traffic online) is in the catalog:
 
   $ dr_download -p byz-2cycle --model byzantine -k 9 -n 256 -t 2 --attack adaptive
   byz-2cycle       OK  Q=256 (mean 256.0) T=0.0 M=56 bits=17920 status=completed
+
+The net transport classifies every peer's outcome; injected --chaos faults
+are masked below the protocols' assumptions (the fault schedule is seeded,
+so the taxonomy line is reproducible; the report's T is wall clock, so
+only the taxonomy line is asserted here):
+
+  $ dr_download -p crash-general -k 5 -n 256 -t 2 --crash silent --seed 1 \
+  >   --transport net --chaos 7:drop=0.05,corrupt=0.02 | tail -1
+  peers: 0:crashed 1:completed 2:crashed 3:completed 4:completed
+
+An unreachable source is a clean error once the retry budget is spent, not
+a hang or a crash:
+
+  $ dr_download -p crash-general -k 4 -n 256 -t 1 --transport net \
+  >   --source 127.0.0.1:1 --net-retries 0 --request-timeout 0.2
+  dr_download: source 127.0.0.1:1 unreachable: connect failed after 1 attempt(s): Connection refused
+  [124]
+
+So is a malformed fault spec:
+
+  $ dr_download -p balanced -k 4 -n 64 -t 1 --transport net --chaos 7:drop=2.0
+  dr_download: --chaos: drop expects a probability in [0,1], got "2.0"
+  [124]

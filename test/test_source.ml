@@ -240,15 +240,50 @@ let test_wire_conflicting_duplicate_raises () =
   checkb "payload intact" true (Bitarray.equal bits (Dr_core.Wire.Assembly.get asm))
 
 let test_wire_frame_header_roundtrip () =
-  List.iter
-    (fun len ->
-      let hdr = Dr_core.Wire.Frame.encode_header len in
-      checki "header width" Dr_core.Wire.Frame.header_len (Bytes.length hdr);
-      checki "roundtrip" len (Dr_core.Wire.Frame.decode_header hdr))
-    [ 0; 1; 255; 256; 65535; Dr_core.Wire.Frame.max_payload ];
+  let module F = Dr_core.Wire.Frame in
+  List.iteri
+    (fun j len ->
+      let crc = 0x1234 * (j + 1) in
+      let hdr = F.encode_header ~len ~crc in
+      checki "header width" F.header_len (Bytes.length hdr);
+      match F.decode_header hdr with
+      | Ok (len', crc') ->
+        checki "length roundtrip" len len';
+        checki "crc roundtrip" crc crc'
+      | Error e -> Alcotest.failf "well-formed header rejected: %s" (F.describe_header_error e))
+    [ 0; 1; 255; 256; 65535; F.max_payload ];
   Alcotest.check_raises "oversized length rejected"
     (Invalid_argument "Wire.Frame.encode_header: bad length")
-    (fun () -> ignore (Dr_core.Wire.Frame.encode_header (Dr_core.Wire.Frame.max_payload + 1)))
+    (fun () -> ignore (F.encode_header ~len:(F.max_payload + 1) ~crc:0))
+
+let test_wire_frame_header_rejects_garbage () =
+  let module F = Dr_core.Wire.Frame in
+  let checkerr what want h =
+    match F.decode_header h with
+    | Ok _ -> Alcotest.failf "%s accepted" what
+    | Error e -> checkb what true (e = want)
+  in
+  checkerr "short header" F.Short_header (Bytes.create (F.header_len - 1));
+  checkerr "zero garbage" F.Bad_magic (Bytes.create F.header_len);
+  let all_ff = Bytes.make F.header_len '\xff' in
+  checkerr "0xff garbage" F.Bad_magic all_ff;
+  (* Right magic, hostile length: rejected with the decoded value, so the
+     caller can refuse to allocate. *)
+  let oversized = F.encode_header ~len:16 ~crc:0 in
+  Bytes.set_uint8 oversized 4 0xff;
+  (match F.decode_header oversized with
+  | Error (F.Length_out_of_range n) -> checkb "decoded length reported" true (n > F.max_payload)
+  | Ok _ | Error _ -> Alcotest.fail "oversized length accepted")
+
+let test_wire_crc32_known_vectors () =
+  (* Standard check value: CRC32("123456789") = 0xCBF43926. *)
+  checki "check vector" 0xCBF43926 (Dr_core.Wire.Crc32.string "123456789");
+  checki "empty" 0 (Dr_core.Wire.Crc32.string "");
+  let b = Bytes.of_string "xx123456789yy" in
+  checki "ranged" 0xCBF43926 (Dr_core.Wire.Crc32.bytes ~off:2 ~len:9 b);
+  let c1 = Dr_core.Wire.Crc32.string "framed payload" in
+  let c2 = Dr_core.Wire.Crc32.string "framed payloae" in
+  checkb "bit flip changes crc" false (c1 = c2)
 
 let test_wire_incomplete_get_raises () =
   let asm = Dr_core.Wire.Assembly.create ~len:10 ~b:4 in
@@ -288,6 +323,8 @@ let suite =
     ("wire duplicates ignored", `Quick, test_wire_duplicate_parts_ignored);
     ("wire conflicting duplicate", `Quick, test_wire_conflicting_duplicate_raises);
     ("wire frame header", `Quick, test_wire_frame_header_roundtrip);
+    ("wire frame header rejects garbage", `Quick, test_wire_frame_header_rejects_garbage);
+    ("wire crc32 known vectors", `Quick, test_wire_crc32_known_vectors);
     ("wire incomplete get", `Quick, test_wire_incomplete_get_raises);
     ("wire size mismatch", `Quick, test_wire_size_mismatch_raises);
   ]

@@ -26,8 +26,8 @@ let entry name =
 (* [crash] is a function of the instance so the plan can target its fault
    set. 30s of wall clock is an order of magnitude above what these tiny
    instances need; it only bounds the damage of a hung child. *)
-let conform ?(attack = "default") ?(crash = fun _ -> Crash_plan.none) ~protocol ~k ~n ~t ~model
-    ~seed () =
+let conform ?(attack = "default") ?(crash = fun _ -> Crash_plan.none) ?chaos ~protocol ~k ~n ~t
+    ~model ~seed () =
   let e = entry protocol in
   let inst = Problem.random_instance ~seed ~model ~k ~n ~t () in
   let crash = crash inst in
@@ -35,7 +35,7 @@ let conform ?(attack = "default") ?(crash = fun _ -> Crash_plan.none) ~protocol 
     e.Registry.run ~opts:(Exec.make_opts ~crash ()) ~attack inst
   in
   let net =
-    Dr_net.Runner.run ~timeout:30. ~crash (e.Registry.core ~attack inst) inst
+    Dr_net.Runner.run ~timeout:30. ~crash ?chaos (e.Registry.core ~attack inst) inst
   in
   checkb "sim verdict ok" true sim.Problem.ok;
   checkb "net verdict matches" sim.Problem.ok net.Problem.ok;
@@ -55,6 +55,27 @@ let test_byz_2cycle_silent () =
   conform ~protocol:"byz-2cycle" ~attack:"silent" ~k:6 ~n:512 ~t:2 ~model:Problem.Byzantine
     ~seed:3L ()
 
+(* Chaos conformance: injected infrastructure faults (drops, corruption,
+   lost replies, a blackout window) sit below the reliability the protocols
+   assume, so a chaotic net run must still agree with the pristine
+   simulator on the verdict and on every query count — the replay cache
+   keeps retried queries off the Q meter. *)
+let chaos spec =
+  match Dr_net.Faultnet.parse_seeded spec with
+  | Ok (chaos_seed, plan) -> { Dr_net.Runner.chaos_seed; plan }
+  | Error e -> Alcotest.failf "bad chaos spec %S: %s" spec e
+
+let test_chaos_conformance_crash_general () =
+  conform ~protocol:"crash-general" ~k:5 ~n:256 ~t:0 ~model:Problem.Crash ~seed:7L
+    ~chaos:(chaos "13:drop=0.1,corrupt=0.05,reply_loss=0.25")
+    ()
+
+let test_chaos_conformance_byz_2cycle () =
+  conform ~protocol:"byz-2cycle" ~attack:"silent" ~k:6 ~n:512 ~t:2 ~model:Problem.Byzantine
+    ~seed:3L
+    ~chaos:(chaos "5:drop=0.05,source_blackout=3@q2,stall=1ms@p1")
+    ()
+
 let test_net_rejects_at_time_crash () =
   let e = entry "crash-general" in
   let inst = Problem.random_instance ~seed:1L ~model:Problem.Crash ~k:4 ~n:64 ~t:1 () in
@@ -68,5 +89,7 @@ let suite =
     ("crash-general fault-free sim=net", `Quick, test_crash_general_faultfree);
     ("crash-general silent crash sim=net", `Quick, test_crash_general_silent_crash);
     ("byz-2cycle silent attack sim=net", `Quick, test_byz_2cycle_silent);
+    ("crash-general sim=net under chaos", `Quick, test_chaos_conformance_crash_general);
+    ("byz-2cycle sim=net under chaos", `Quick, test_chaos_conformance_byz_2cycle);
     ("net rejects At_time crash plans", `Quick, test_net_rejects_at_time_crash);
   ]
